@@ -1,0 +1,38 @@
+"""Benchmark A2: constraint-stack ablation (Secs. 2.3 and 3.2).
+
+Measures recovery quality and negativity artifacts with the positivity, RNA
+conservation and rate-continuity constraints toggled on and off.
+"""
+
+from repro.experiments.ablations import run_constraint_ablation
+from repro.experiments.reporting import format_table
+
+
+def _run():
+    return run_constraint_ablation(
+        noise_fraction=0.08,
+        num_times=16,
+        num_cells=6000,
+        phase_bins=80,
+        lam=1e-3,
+        rng=6,
+    )
+
+
+def test_ablation_constraints(benchmark):
+    scores = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Ablation A2: constraint stack ===")
+    print(format_table(
+        ["configuration", "NRMSE", "most negative value"],
+        [[name, metrics["nrmse"], metrics["negativity"]] for name, metrics in scores.items()],
+    ))
+
+    assert set(scores) == {"none", "positivity_only", "no_rate_continuity", "full"}
+    # Positivity removes negative artifacts (up to the constraint-grid resolution).
+    assert scores["full"]["negativity"] >= -5e-3
+    assert scores["positivity_only"]["negativity"] >= -5e-3
+    assert scores["none"]["negativity"] <= scores["full"]["negativity"] + 1e-9
+    # Every configuration still recovers the overall profile.
+    for metrics in scores.values():
+        assert metrics["nrmse"] < 0.4

@@ -1,0 +1,54 @@
+"""Benchmark E3 (paper Figure 4): batch-culture cell-type distribution.
+
+Regenerates the simulated SW / STE / STEPD / STLPD fraction time series between
+75 and 150 minutes (with the transition-phase band) and compares it against the
+reference distribution, asserting the qualitative agreement the paper reports.
+"""
+
+import numpy as np
+
+from repro.cellcycle.celltypes import CellType
+from repro.experiments.figure4 import run_celltype_experiment
+from repro.experiments.reporting import format_table
+
+
+def _run():
+    return run_celltype_experiment(num_cells=30_000, rng=11)
+
+
+def test_figure4_celltype_distribution(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Figure 4: cell-type distribution (simulated vs reference) ===")
+    header = ["minutes"] + [f"sim {t.value}" for t in CellType.ordered()] + [
+        f"ref {t.value}" for t in CellType.ordered()
+    ]
+    rows = []
+    for index, time in enumerate(result.simulated.times):
+        row = [time]
+        row += [result.simulated.fractions[t][index] for t in CellType.ordered()]
+        row += [result.reference.fractions[t][index] for t in CellType.ordered()]
+        rows.append(row)
+    print(format_table(header, rows, precision=3))
+    print(format_table(
+        ["cell type", "max |sim - ref|", "mean |sim - ref|"],
+        [
+            [t.value, result.per_type_max_error[t], result.per_type_mean_error[t]]
+            for t in CellType.ordered()
+        ],
+    ))
+    print(f"mean absolute error  : {result.mean_error:.3f}")
+    print(f"within-band fraction : {result.within_band_fraction:.2f}")
+
+    # Agreement claims: "highly similar distributions of each cell type".
+    assert result.mean_error < 0.10
+    assert result.within_band_fraction > 0.6
+    for cell_type in CellType.ordered():
+        assert result.per_type_mean_error[cell_type] < 0.15
+
+    # Qualitative shape of the distribution.
+    simulated = result.simulated.fractions
+    assert simulated[CellType.STE][0] > 0.5
+    assert simulated[CellType.SW][-1] > simulated[CellType.SW][0]
+    stepd = simulated[CellType.STEPD]
+    assert 0 < int(np.argmax(stepd)) < stepd.size - 1

@@ -1,0 +1,48 @@
+"""Benchmark A4: Monte-Carlo convergence and cost of the Q(phi, t) kernel.
+
+Times kernel construction at the default resolution and checks that the
+Monte-Carlo error decreases as the simulated population grows.
+"""
+
+import numpy as np
+
+from repro.cellcycle.kernel import KernelBuilder
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.experiments.ablations import run_kernel_convergence_study
+from repro.experiments.reporting import format_table
+
+
+def test_kernel_build_cost(benchmark):
+    """Time to build the default-resolution kernel used by the figure experiments."""
+    parameters = CellCycleParameters()
+    times = np.linspace(0.0, 180.0, 19)
+    builder = KernelBuilder(parameters, num_cells=8000, phase_bins=80)
+
+    kernel = benchmark(lambda: builder.build(times, rng=0))
+
+    assert np.allclose(kernel.row_integrals(), 1.0, atol=1e-9)
+    assert kernel.density.shape == (19, 80)
+
+
+def test_kernel_monte_carlo_convergence(benchmark):
+    """Monte-Carlo error decreases with the number of simulated founder cells."""
+    scores = benchmark.pedantic(
+        lambda: run_kernel_convergence_study(
+            cell_counts=(500, 2000, 8000),
+            reference_cells=40_000,
+            phase_bins=80,
+            num_times=6,
+            rng=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Ablation A4: kernel Monte-Carlo convergence ===")
+    print(format_table(
+        ["founder cells", "mean |Q - Q_ref|"],
+        [[count, error] for count, error in sorted(scores.items())],
+    ))
+
+    ordered = [scores[count] for count in sorted(scores)]
+    assert ordered[-1] < ordered[0], "error should shrink with more cells"

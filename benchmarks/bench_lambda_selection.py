@@ -1,0 +1,39 @@
+"""Benchmark A3: smoothing-parameter selection (cross-validation, Sec. 2.3).
+
+Sweeps fixed lambda values and compares the automatic GCV and k-fold choices
+against the best fixed value.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import run_lambda_ablation
+from repro.experiments.reporting import format_table
+
+
+def _run():
+    return run_lambda_ablation(
+        noise_fraction=0.10,
+        num_times=16,
+        num_cells=6000,
+        phase_bins=80,
+        lambdas=np.logspace(-5, 1, 7),
+        rng=9,
+    )
+
+
+def test_lambda_selection(benchmark):
+    scores = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Ablation A3: lambda selection ===")
+    print(format_table(
+        ["configuration", "deconvolution NRMSE"],
+        [[name, score] for name, score in scores.items()],
+    ))
+
+    sweep = [value for key, value in scores.items() if key.startswith("lambda=")]
+    best_fixed = min(sweep)
+    # The automatic selectors are competitive with the best fixed lambda.
+    assert scores["gcv"] <= 2.0 * best_fixed + 0.05
+    assert scores["kfold"] <= 2.5 * best_fixed + 0.05
+    # Extreme over-smoothing is measurably worse than the best choice.
+    assert max(sweep) > best_fixed

@@ -1,0 +1,47 @@
+"""Benchmark A6: the in-repo active-set QP solver vs SciPy SLSQP.
+
+Times both backends on a representative deconvolution quadratic program and
+verifies they reach the same constrained optimum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.kernel import KernelBuilder
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.core.basis import SplineBasis
+from repro.core.constraints import default_constraints
+from repro.core.forward import ForwardModel
+from repro.core.problem import DeconvolutionProblem
+from repro.data.synthetic import ftsz_like_profile
+
+
+@pytest.fixture(scope="module")
+def problem():
+    parameters = CellCycleParameters()
+    times = np.linspace(0.0, 150.0, 16)
+    kernel = KernelBuilder(parameters, num_cells=6000, phase_bins=80).build(times, rng=0)
+    truth = ftsz_like_profile()
+    measurements = kernel.apply_function(truth)
+    forward = ForwardModel(kernel, SplineBasis(num_basis=14))
+    return DeconvolutionProblem(
+        forward, measurements, constraints=default_constraints(), parameters=parameters
+    )
+
+
+def test_qp_active_set_backend(benchmark, problem):
+    result = benchmark(lambda: problem.solve(1e-3, backend="active_set"))
+    assert result.converged
+
+
+def test_qp_scipy_backend(benchmark, problem):
+    result = benchmark(lambda: problem.solve(1e-3, backend="scipy"))
+    assert result.converged
+
+
+def test_qp_backends_reach_same_optimum(problem):
+    ours = problem.solve(1e-3, backend="active_set")
+    reference = problem.solve(1e-3, backend="scipy")
+    assert problem.cost(ours.x, 1e-3) == pytest.approx(
+        problem.cost(reference.x, 1e-3), rel=1e-4, abs=1e-6
+    )

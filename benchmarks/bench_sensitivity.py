@@ -1,0 +1,40 @@
+"""Benchmark A7: sensitivity to the assumed SW-to-ST transition phase.
+
+Quantifies the Sec. 2.1 update (mu_sst 0.25 -> 0.15): how much does assuming
+the wrong transition phase in the asynchrony model cost in recovery accuracy?
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.experiments.sensitivity import run_mu_sst_sensitivity
+
+
+def _run():
+    return run_mu_sst_sensitivity(
+        assumed_values=np.array([0.10, 0.15, 0.20, 0.25, 0.30]),
+        noise_fraction=0.05,
+        num_times=16,
+        num_cells=6000,
+        phase_bins=80,
+        rng=17,
+    )
+
+
+def test_mu_sst_sensitivity(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Ablation A7: sensitivity to the assumed mu_sst ===")
+    print(format_table(
+        ["assumed mu_sst", "deconvolution NRMSE"],
+        [[value, error] for value, error in zip(result.assumed_values, result.errors)],
+    ))
+    print(f"true mu_sst: {result.true_value}")
+
+    index_true = int(np.argmin(np.abs(result.assumed_values - result.true_value)))
+    index_old = int(np.argmin(np.abs(result.assumed_values - 0.25)))
+    index_worst = int(np.argmax(np.abs(result.assumed_values - result.true_value)))
+    # Using the updated (correct) transition phase is at least as good as the
+    # 2009 value and clearly better than a badly wrong assumption.
+    assert result.errors[index_true] <= result.errors[index_old] + 0.02
+    assert result.errors[index_true] < result.errors[index_worst]

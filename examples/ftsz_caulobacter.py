@@ -1,0 +1,47 @@
+"""Reproduce the paper's Figure 5: ftsZ expression in Caulobacter.
+
+Deconvolves the synthetic stand-in for the McGrath et al. (2007) ftsZ
+population time course and reports the two features the paper highlights:
+the transcription delay before the swarmer-to-stalked transition (visible only
+after deconvolution) and the post-peak drop with no subsequent increase.
+
+Run with:  python examples/ftsz_caulobacter.py
+"""
+
+from repro.experiments.figure5 import run_ftsz_experiment
+from repro.experiments.reporting import format_series, format_table
+
+
+def main() -> None:
+    print("Running the ftsZ deconvolution experiment ...")
+    result = run_ftsz_experiment(noise_fraction=0.05, num_times=16, num_cells=10_000, rng=2011)
+
+    series = result.dataset.series
+    print(format_series("population ftsZ expression", series.times, series.values,
+                        x_label="minutes", y_label="expression"))
+    times, values = result.result.profile_vs_time(21)
+    print(format_series("deconvolved ftsZ expression", times, values,
+                        x_label="simulated minutes", y_label="expression"))
+
+    print()
+    print(format_table(
+        ["feature", "population", "deconvolved", "ground truth"],
+        [
+            ["onset phase", result.population_onset_phase, result.deconvolved_onset_phase,
+             result.true_onset_phase],
+            ["post-peak drop", result.population_post_peak_drop,
+             result.deconvolved_post_peak_drop, "-"],
+        ],
+    ))
+    print(f"deconvolved peak phase             : {result.deconvolved_peak_phase:.3f}")
+    print(f"post-peak increase in deconvolved? : {result.deconvolved_has_post_peak_increase}")
+    print(f"population still rising late?      : {result.population_final_trend_up}")
+    print(f"NRMSE of deconvolved vs truth      : {result.comparison.nrmse:.3f}")
+    print()
+    print("The transcription delay (near-zero expression before the SW-to-ST")
+    print("transition) and the post-maximum drop are resolved only in the")
+    print("deconvolved profile, as in the paper's Figure 5.")
+
+
+if __name__ == "__main__":
+    main()

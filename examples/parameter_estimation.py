@@ -1,0 +1,54 @@
+"""Single-cell parameter estimation: population fit vs deconvolved fit (Sec. 5).
+
+Differential-equation models of gene regulation describe single cells but are
+usually fitted to population data.  This example quantifies the resulting bias
+on the Lotka-Volterra oscillator and shows that fitting to deconvolved data
+recovers the true single-cell rates much more accurately — the paper's
+"ongoing work" claim.
+
+Run with:  python examples/parameter_estimation.py
+(The two Nelder-Mead fits take a minute or two.)
+"""
+
+from repro.experiments.parameter_estimation import run_parameter_estimation_experiment
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    print("Generating population data and running both fits (this takes a minute) ...")
+    result = run_parameter_estimation_experiment(
+        noise_fraction=0.05,
+        num_times=19,
+        t_end=180.0,
+        num_cells=6000,
+        phase_bins=80,
+        max_iterations=500,
+        rng=123,
+    )
+
+    names = ["a", "b", "c", "d"]
+    print(format_table(
+        ["rate", "true value", "fit to population", "fit to deconvolved"],
+        [
+            [
+                names[i],
+                result.true_parameters[i],
+                result.population_fit.parameters[i],
+                result.deconvolved_fit.parameters[i],
+            ]
+            for i in range(4)
+        ],
+    ))
+    print()
+    print(format_table(
+        ["fit target", "mean relative parameter error"],
+        [
+            ["population data (naive)", result.population_fit.mean_relative_error],
+            ["deconvolved data", result.deconvolved_fit.mean_relative_error],
+        ],
+    ))
+    print(f"\nimprovement factor from deconvolution: {result.improvement_factor:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""In silico synchronization of cellular populations through expression data deconvolution.
+
+A from-scratch Python reproduction of Eisenberg, Ash & Siegal-Gaskins
+(DAC 2011): a Monte-Carlo model of asynchronous Caulobacter populations, the
+fractional volume-density kernel ``Q(phi, t)``, and a constrained, regularised
+deconvolution that recovers synchronous single-cell expression profiles
+``f(phi)`` from population-level time series.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Deconvolver, KernelBuilder, ftsz_like_profile
+>>> times = np.linspace(0.0, 150.0, 16)
+>>> kernel = KernelBuilder(num_cells=5000).build(times, rng=0)
+>>> truth = ftsz_like_profile()
+>>> population = kernel.apply_function(truth)          # forward model
+>>> result = Deconvolver(kernel).fit(times, population)  # inverse problem
+>>> phases, estimate = result.profile_on_grid()
+"""
+
+from repro.cellcycle import (
+    CellCycleParameters,
+    CellType,
+    CellTypeBoundaries,
+    InitialCondition,
+    KernelBuilder,
+    LinearVolumeModel,
+    PiecewiseLinearVolumeModel,
+    PopulationSimulator,
+    SmoothVolumeModel,
+    VolumeKernel,
+    make_volume_model,
+    simulate_type_distribution,
+)
+from repro.core import (
+    Deconvolver,
+    DeconvolutionProblem,
+    DeconvolutionResult,
+    ForwardModel,
+    PositivityConstraint,
+    RNAConservationConstraint,
+    RateContinuityConstraint,
+    SplineBasis,
+    default_constraints,
+    select_lambda,
+)
+from repro.data import (
+    ExpressionTimeSeries,
+    GaussianAdditiveNoise,
+    GaussianMagnitudeNoise,
+    GaussianProportionalNoise,
+    PhaseProfile,
+    ftsz_like_profile,
+    ftsz_population_dataset,
+    judd_reference_distribution,
+)
+from repro.dynamics import (
+    GoodwinOscillator,
+    LotkaVolterraModel,
+    Repressilator,
+    estimate_period,
+    extract_phase_profiles,
+    tune_to_period,
+)
+from repro.estimation import FitResult, TimeSeriesObjective, fit_parameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellCycleParameters",
+    "CellType",
+    "CellTypeBoundaries",
+    "InitialCondition",
+    "KernelBuilder",
+    "LinearVolumeModel",
+    "PiecewiseLinearVolumeModel",
+    "PopulationSimulator",
+    "SmoothVolumeModel",
+    "VolumeKernel",
+    "make_volume_model",
+    "simulate_type_distribution",
+    "Deconvolver",
+    "DeconvolutionProblem",
+    "DeconvolutionResult",
+    "ForwardModel",
+    "PositivityConstraint",
+    "RNAConservationConstraint",
+    "RateContinuityConstraint",
+    "SplineBasis",
+    "default_constraints",
+    "select_lambda",
+    "ExpressionTimeSeries",
+    "GaussianAdditiveNoise",
+    "GaussianMagnitudeNoise",
+    "GaussianProportionalNoise",
+    "PhaseProfile",
+    "ftsz_like_profile",
+    "ftsz_population_dataset",
+    "judd_reference_distribution",
+    "GoodwinOscillator",
+    "LotkaVolterraModel",
+    "Repressilator",
+    "estimate_period",
+    "extract_phase_profiles",
+    "tune_to_period",
+    "FitResult",
+    "TimeSeriesObjective",
+    "fit_parameters",
+    "__version__",
+]

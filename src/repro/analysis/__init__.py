@@ -1,0 +1,32 @@
+"""Analysis helpers: error metrics, feature detection and profile comparison."""
+
+from repro.analysis.metrics import (
+    rmse,
+    nrmse,
+    mean_absolute_error,
+    max_absolute_error,
+    pearson_correlation,
+    relative_error,
+)
+from repro.analysis.features import (
+    detect_onset_phase,
+    detect_peak,
+    has_post_peak_increase,
+    post_peak_drop_fraction,
+)
+from repro.analysis.comparison import ProfileComparison, compare_to_truth
+
+__all__ = [
+    "rmse",
+    "nrmse",
+    "mean_absolute_error",
+    "max_absolute_error",
+    "pearson_correlation",
+    "relative_error",
+    "detect_onset_phase",
+    "detect_peak",
+    "has_post_peak_increase",
+    "post_peak_drop_fraction",
+    "ProfileComparison",
+    "compare_to_truth",
+]

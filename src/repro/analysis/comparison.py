@@ -1,0 +1,96 @@
+"""Comparison of deconvolved, population and ground-truth profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import max_absolute_error, nrmse, pearson_correlation, rmse
+from repro.core.result import DeconvolutionResult
+from repro.data.timeseries import PhaseProfile
+from repro.utils.validation import ensure_1d
+
+
+@dataclass
+class ProfileComparison:
+    """Quantitative comparison of an estimated profile against a ground truth.
+
+    Attributes
+    ----------
+    rmse, nrmse, max_error, correlation:
+        Error metrics of the estimate against the truth on the phase grid.
+    population_nrmse:
+        NRMSE of the raw population curve (mapped onto the phase axis)
+        against the same truth — the "do nothing" baseline the deconvolution
+        must beat.
+    improvement_factor:
+        ``population_nrmse / nrmse``; greater than one means the deconvolution
+        recovered the synchronous profile better than the raw population data.
+    """
+
+    rmse: float
+    nrmse: float
+    max_error: float
+    correlation: float
+    population_nrmse: float
+    improvement_factor: float
+
+
+def compare_to_truth(
+    result: DeconvolutionResult,
+    truth: PhaseProfile,
+    *,
+    num_points: int = 201,
+    population_values: np.ndarray | None = None,
+    population_times: np.ndarray | None = None,
+) -> ProfileComparison:
+    """Compare a deconvolution result against the known synchronous profile.
+
+    Parameters
+    ----------
+    result:
+        Fitted deconvolution result.
+    truth:
+        Ground-truth synchronous profile.
+    num_points:
+        Number of phase samples used for the comparison.
+    population_values, population_times:
+        Optional raw population series; when given, the population curve is
+        re-parameterised by phase (``phi = t / mean_cycle_time``, clipped to
+        one cycle) to compute the baseline NRMSE.  Defaults to the result's
+        own measurements.
+    """
+    phases = np.linspace(0.0, 1.0, int(num_points))
+    estimate = result.profile(phases)
+    truth_values = truth(phases)
+
+    error_rmse = rmse(estimate, truth_values)
+    error_nrmse = nrmse(estimate, truth_values)
+    error_max = max_absolute_error(estimate, truth_values)
+    correlation = pearson_correlation(estimate, truth_values)
+
+    if population_values is None:
+        population_values = result.measurements
+        population_times = result.times
+    population_values = ensure_1d(population_values, "population_values")
+    population_times = ensure_1d(population_times, "population_times")
+    if population_values.size != population_times.size:
+        raise ValueError("population series and times must have the same length")
+
+    # Interpret the population curve as a (wrong) estimate of f(phi) by mapping
+    # experiment time to phase over one average cycle.
+    cycle = result.mean_cycle_time
+    population_phases = np.clip(population_times / cycle, 0.0, 1.0)
+    population_on_grid = np.interp(phases, population_phases, population_values)
+    population_error = nrmse(population_on_grid, truth_values)
+
+    improvement = population_error / error_nrmse if error_nrmse > 0 else float("inf")
+    return ProfileComparison(
+        rmse=error_rmse,
+        nrmse=error_nrmse,
+        max_error=error_max,
+        correlation=correlation,
+        population_nrmse=population_error,
+        improvement_factor=improvement,
+    )

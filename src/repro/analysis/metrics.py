@@ -1,0 +1,63 @@
+"""Error metrics used to quantify deconvolution quality."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d
+
+
+def _pair(estimate: np.ndarray, truth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    estimate = ensure_1d(estimate, "estimate")
+    truth = ensure_1d(truth, "truth")
+    if estimate.size != truth.size:
+        raise ValueError("estimate and truth must have the same length")
+    return estimate, truth
+
+
+def rmse(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Root-mean-square error."""
+    estimate, truth = _pair(estimate, truth)
+    return float(np.sqrt(np.mean((estimate - truth) ** 2)))
+
+
+def nrmse(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """RMSE normalised by the range of the truth (dimensionless)."""
+    estimate, truth = _pair(estimate, truth)
+    spread = float(np.max(truth) - np.min(truth))
+    if spread == 0.0:
+        raise ValueError("nrmse is undefined for a constant truth signal")
+    return rmse(estimate, truth) / spread
+
+
+def mean_absolute_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error."""
+    estimate, truth = _pair(estimate, truth)
+    return float(np.mean(np.abs(estimate - truth)))
+
+
+def max_absolute_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Maximum absolute error."""
+    estimate, truth = _pair(estimate, truth)
+    return float(np.max(np.abs(estimate - truth)))
+
+
+def pearson_correlation(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Pearson correlation coefficient between estimate and truth."""
+    estimate, truth = _pair(estimate, truth)
+    est_centered = estimate - np.mean(estimate)
+    tru_centered = truth - np.mean(truth)
+    denom = np.linalg.norm(est_centered) * np.linalg.norm(tru_centered)
+    if denom == 0.0:
+        raise ValueError("pearson correlation is undefined for constant signals")
+    return float(est_centered @ tru_centered / denom)
+
+
+def relative_error(estimate: float | np.ndarray, truth: float | np.ndarray) -> np.ndarray | float:
+    """Element-wise relative error ``|estimate - truth| / |truth|``."""
+    estimate_arr = np.asarray(estimate, dtype=float)
+    truth_arr = np.asarray(truth, dtype=float)
+    if np.any(truth_arr == 0):
+        raise ValueError("relative error is undefined where the truth is zero")
+    result = np.abs(estimate_arr - truth_arr) / np.abs(truth_arr)
+    return float(result) if result.ndim == 0 else result

@@ -1,0 +1,58 @@
+"""Caulobacter cell-cycle population model (the paper's asynchrony substrate).
+
+This package implements Section 2.1, 2.2 and 3.1 of the paper: the
+phase-evolution model of an initially synchronous swarmer culture, the
+asymmetric division into swarmer and stalked daughters, the two cell-volume
+models (linear baseline and the smooth piecewise-polynomial update), the
+Monte-Carlo estimate of the fractional volume density kernel ``Q(phi, t)`` and
+the cell-type classification used in the Figure 4 validation.
+"""
+
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.cellcycle.volume import (
+    VolumeModel,
+    LinearVolumeModel,
+    PiecewiseLinearVolumeModel,
+    SmoothVolumeModel,
+    make_volume_model,
+)
+from repro.cellcycle.phase import (
+    InitialCondition,
+    sample_initial_phases,
+    phase_at_time,
+    time_to_division,
+)
+from repro.cellcycle.population import PopulationSimulator, PopulationHistory, PopulationSnapshot
+from repro.cellcycle.kernel import VolumeKernel, KernelBuilder
+from repro.cellcycle.celltypes import (
+    CellType,
+    CellTypeBoundaries,
+    classify_phases,
+    type_fractions,
+    CellTypeDistribution,
+    simulate_type_distribution,
+)
+
+__all__ = [
+    "CellCycleParameters",
+    "VolumeModel",
+    "LinearVolumeModel",
+    "PiecewiseLinearVolumeModel",
+    "SmoothVolumeModel",
+    "make_volume_model",
+    "InitialCondition",
+    "sample_initial_phases",
+    "phase_at_time",
+    "time_to_division",
+    "PopulationSimulator",
+    "PopulationHistory",
+    "PopulationSnapshot",
+    "VolumeKernel",
+    "KernelBuilder",
+    "CellType",
+    "CellTypeBoundaries",
+    "classify_phases",
+    "type_fractions",
+    "CellTypeDistribution",
+    "simulate_type_distribution",
+]

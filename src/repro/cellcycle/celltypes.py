@@ -1,0 +1,228 @@
+"""Cell-type classification and type-fraction time series (Figure 4).
+
+Simulated cells are grouped by their cell-cycle phase into swarmer (SW),
+early stalked (STE), early predivisional (STEPD) and late predivisional
+(STLPD) morphologies.  The SW/STE boundary is each cell's own transition phase
+``phi_sst``; the STE/STEPD and STEPD/STLPD boundaries are uncertain
+experimentally, so the paper reports them as ranges (0.6-0.7 and 0.85-0.9)
+and draws a band — this module supports both a single boundary set and a
+(low, mid, high) band.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.cellcycle.phase import InitialCondition
+from repro.cellcycle.population import PopulationSimulator
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, ensure_1d
+
+
+class CellType(enum.Enum):
+    """Morphological cell types of the Caulobacter cycle."""
+
+    SW = "SW"
+    STE = "STE"
+    STEPD = "STEPD"
+    STLPD = "STLPD"
+
+    @classmethod
+    def ordered(cls) -> list["CellType"]:
+        """Types in cell-cycle order."""
+        return [cls.SW, cls.STE, cls.STEPD, cls.STLPD]
+
+
+@dataclass(frozen=True)
+class CellTypeBoundaries:
+    """Phase boundaries separating the stalked sub-types.
+
+    Attributes
+    ----------
+    ste_stepd:
+        Phase separating early stalked from early predivisional cells
+        (paper range 0.6-0.7).
+    stepd_stlpd:
+        Phase separating early from late predivisional cells
+        (paper range 0.85-0.9).
+    """
+
+    ste_stepd: float = 0.65
+    stepd_stlpd: float = 0.875
+
+    def __post_init__(self) -> None:
+        check_in_range(self.ste_stepd, "ste_stepd", 0.0, 1.0, inclusive=False)
+        check_in_range(self.stepd_stlpd, "stepd_stlpd", 0.0, 1.0, inclusive=False)
+        if not self.ste_stepd < self.stepd_stlpd:
+            raise ValueError("ste_stepd must be smaller than stepd_stlpd")
+
+    @classmethod
+    def paper_low(cls) -> "CellTypeBoundaries":
+        """Lower edge of the paper's boundary ranges."""
+        return cls(ste_stepd=0.6, stepd_stlpd=0.85)
+
+    @classmethod
+    def paper_mid(cls) -> "CellTypeBoundaries":
+        """Midpoint of the paper's boundary ranges."""
+        return cls(ste_stepd=0.65, stepd_stlpd=0.875)
+
+    @classmethod
+    def paper_high(cls) -> "CellTypeBoundaries":
+        """Upper edge of the paper's boundary ranges."""
+        return cls(ste_stepd=0.7, stepd_stlpd=0.9)
+
+
+def classify_phases(
+    phases: np.ndarray,
+    transition_phases: np.ndarray,
+    boundaries: CellTypeBoundaries | None = None,
+) -> np.ndarray:
+    """Classify each cell into a :class:`CellType` by its phase.
+
+    Parameters
+    ----------
+    phases:
+        Cell-cycle phases in ``[0, 1]``.
+    transition_phases:
+        Per-cell swarmer-to-stalked transition phases.
+    boundaries:
+        Stalked sub-type boundaries; defaults to the paper midpoints.
+
+    Returns
+    -------
+    numpy.ndarray
+        Object array of :class:`CellType` members, same length as ``phases``.
+    """
+    phases = ensure_1d(phases, "phases")
+    transition_phases = ensure_1d(transition_phases, "transition_phases")
+    if phases.size != transition_phases.size:
+        raise ValueError("phases and transition_phases must have the same length")
+    if boundaries is None:
+        boundaries = CellTypeBoundaries.paper_mid()
+    result = np.empty(phases.size, dtype=object)
+    swarmer = phases < transition_phases
+    early_stalked = (~swarmer) & (phases < boundaries.ste_stepd)
+    early_pd = (~swarmer) & (phases >= boundaries.ste_stepd) & (phases < boundaries.stepd_stlpd)
+    late_pd = (~swarmer) & (phases >= boundaries.stepd_stlpd)
+    result[swarmer] = CellType.SW
+    result[early_stalked] = CellType.STE
+    result[early_pd] = CellType.STEPD
+    result[late_pd] = CellType.STLPD
+    return result
+
+
+def type_fractions(
+    phases: np.ndarray,
+    transition_phases: np.ndarray,
+    boundaries: CellTypeBoundaries | None = None,
+) -> dict[CellType, float]:
+    """Fraction of cells of each type (by cell count)."""
+    labels = classify_phases(phases, transition_phases, boundaries)
+    total = labels.size
+    return {
+        cell_type: float(np.count_nonzero(labels == cell_type)) / total
+        for cell_type in CellType.ordered()
+    }
+
+
+@dataclass
+class CellTypeDistribution:
+    """Time-resolved cell-type fractions, optionally with an uncertainty band.
+
+    Attributes
+    ----------
+    times:
+        Sample times in minutes.
+    fractions:
+        Mapping from cell type to the fraction time series at the midpoint
+        boundaries.
+    lower, upper:
+        Optional mappings giving the band induced by the boundary ranges.
+    """
+
+    times: np.ndarray
+    fractions: dict[CellType, np.ndarray]
+    lower: dict[CellType, np.ndarray] = field(default_factory=dict)
+    upper: dict[CellType, np.ndarray] = field(default_factory=dict)
+
+    def as_matrix(self) -> np.ndarray:
+        """Fractions as a matrix with one column per type in cycle order."""
+        return np.column_stack([self.fractions[t] for t in CellType.ordered()])
+
+    def check_normalised(self, tol: float = 1e-8) -> bool:
+        """Whether the four fractions sum to one at every time."""
+        sums = self.as_matrix().sum(axis=1)
+        return bool(np.all(np.abs(sums - 1.0) <= tol))
+
+
+def simulate_type_distribution(
+    times: np.ndarray,
+    parameters: CellCycleParameters | None = None,
+    *,
+    num_cells: int = 20_000,
+    initial_condition: InitialCondition = InitialCondition.SYNCHRONIZED_SWARMER,
+    include_band: bool = True,
+    rng: SeedLike = None,
+) -> CellTypeDistribution:
+    """Simulate the batch-culture cell-type distribution over time (Fig. 4).
+
+    Parameters
+    ----------
+    times:
+        Times (minutes) at which to evaluate the type fractions.
+    parameters:
+        Cell-cycle parameters; defaults to the paper values.
+    num_cells:
+        Number of founder cells in the Monte-Carlo simulation.
+    initial_condition:
+        Initial synchrony model; the paper's experiment starts from a
+        synchronised swarmer culture.
+    include_band:
+        Whether to also evaluate the low/high boundary choices to produce the
+        shaded band of Fig. 4.
+    rng:
+        Seed or generator.
+    """
+    times = ensure_1d(times, "times")
+    parameters = parameters if parameters is not None else CellCycleParameters()
+    generator = as_generator(rng)
+    simulator = PopulationSimulator(parameters, initial_condition=initial_condition)
+    horizon = float(np.max(times))
+    history = simulator.run(num_cells, horizon, generator)
+
+    boundary_sets = {"mid": CellTypeBoundaries.paper_mid()}
+    if include_band:
+        # The paper's shaded band spans the STE-STEPD range 0.6-0.7 and the
+        # STEPD-STLPD range 0.85-0.9; evaluating every corner of that
+        # rectangle gives a true envelope of the possible fractions.
+        low = CellTypeBoundaries.paper_low()
+        high = CellTypeBoundaries.paper_high()
+        boundary_sets["corner_ll"] = CellTypeBoundaries(low.ste_stepd, low.stepd_stlpd)
+        boundary_sets["corner_lh"] = CellTypeBoundaries(low.ste_stepd, high.stepd_stlpd)
+        boundary_sets["corner_hl"] = CellTypeBoundaries(high.ste_stepd, low.stepd_stlpd)
+        boundary_sets["corner_hh"] = CellTypeBoundaries(high.ste_stepd, high.stepd_stlpd)
+
+    series: dict[str, dict[CellType, list[float]]] = {
+        key: {cell_type: [] for cell_type in CellType.ordered()} for key in boundary_sets
+    }
+    for time in times:
+        phases, indices = history.phases_at(float(time))
+        transition = history.transition_phases[indices]
+        for key, boundaries in boundary_sets.items():
+            fractions = type_fractions(phases, transition, boundaries)
+            for cell_type in CellType.ordered():
+                series[key][cell_type].append(fractions[cell_type])
+
+    fractions_mid = {t: np.asarray(v) for t, v in series["mid"].items()}
+    lower: dict[CellType, np.ndarray] = {}
+    upper: dict[CellType, np.ndarray] = {}
+    if include_band:
+        for cell_type in CellType.ordered():
+            stacked = np.vstack([np.asarray(series[key][cell_type]) for key in boundary_sets])
+            lower[cell_type] = stacked.min(axis=0)
+            upper[cell_type] = stacked.max(axis=0)
+    return CellTypeDistribution(times=times.copy(), fractions=fractions_mid, lower=lower, upper=upper)

@@ -1,0 +1,130 @@
+"""Cell-cycle parameter set and sampling of per-cell random variables.
+
+Each simulated cell ``k`` carries two random parameters (Sec. 2.1 of the
+paper): its swarmer-to-stalked transition phase ``phi_sst_k``, normally
+distributed with mean 0.15 and coefficient of variation 0.13, and its total
+cycle time ``T_k`` in minutes.  Both are sampled from truncated normal
+distributions so that unphysical values (negative times, transition phases
+outside ``(0, 1)``) never occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_positive
+
+
+def _sample_truncated_normal(
+    rng: np.random.Generator,
+    mean: float,
+    std: float,
+    low: float,
+    high: float,
+    size: int,
+) -> np.ndarray:
+    """Sample a normal distribution truncated to ``(low, high)`` by rejection.
+
+    The distributions used here are narrow relative to their bounds, so
+    rejection sampling converges in one or two rounds; a clip-based fallback
+    guarantees termination even for extreme parameter choices.
+    """
+    if std == 0.0:
+        return np.full(size, np.clip(mean, low, high))
+    samples = rng.normal(mean, std, size)
+    for _ in range(100):
+        bad = (samples <= low) | (samples >= high)
+        num_bad = int(np.count_nonzero(bad))
+        if num_bad == 0:
+            return samples
+        samples[bad] = rng.normal(mean, std, num_bad)
+    return np.clip(samples, low + 1e-9, high - 1e-9)
+
+
+@dataclass(frozen=True)
+class CellCycleParameters:
+    """Population-level parameters of the Caulobacter cell-cycle model.
+
+    Attributes
+    ----------
+    mu_sst:
+        Mean swarmer-to-stalked transition phase (paper value 0.15).
+    cv_sst:
+        Coefficient of variation of the transition phase (paper value 0.13).
+    mean_cycle_time:
+        Mean total cell-cycle time in minutes (paper value 150).
+    cv_cycle_time:
+        Coefficient of variation of the cell-cycle time.
+    swarmer_volume_fraction:
+        Fraction of the pre-division volume inherited by the swarmer daughter.
+    stalked_volume_fraction:
+        Fraction of the pre-division volume inherited by the stalked daughter.
+    """
+
+    mu_sst: float = config.DEFAULT_MU_SST
+    cv_sst: float = config.DEFAULT_CV_SST
+    mean_cycle_time: float = config.DEFAULT_MEAN_CYCLE_TIME
+    cv_cycle_time: float = config.DEFAULT_CV_CYCLE_TIME
+    swarmer_volume_fraction: float = config.SWARMER_VOLUME_FRACTION
+    stalked_volume_fraction: float = config.STALKED_VOLUME_FRACTION
+
+    def __post_init__(self) -> None:
+        check_in_range(self.mu_sst, "mu_sst", 0.0, 1.0, inclusive=False)
+        check_positive(self.cv_sst, "cv_sst", strict=False)
+        check_positive(self.mean_cycle_time, "mean_cycle_time")
+        check_positive(self.cv_cycle_time, "cv_cycle_time", strict=False)
+        check_in_range(self.swarmer_volume_fraction, "swarmer_volume_fraction", 0.0, 1.0, inclusive=False)
+        check_in_range(self.stalked_volume_fraction, "stalked_volume_fraction", 0.0, 1.0, inclusive=False)
+        total = self.swarmer_volume_fraction + self.stalked_volume_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                "swarmer and stalked volume fractions must sum to one, got "
+                f"{self.swarmer_volume_fraction} + {self.stalked_volume_fraction}"
+            )
+
+    @property
+    def sigma_sst(self) -> float:
+        """Standard deviation of the transition phase."""
+        return self.mu_sst * self.cv_sst
+
+    @property
+    def sigma_cycle_time(self) -> float:
+        """Standard deviation of the cell-cycle time in minutes."""
+        return self.mean_cycle_time * self.cv_cycle_time
+
+    def sample_transition_phase(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        """Sample ``phi_sst`` values truncated to ``(0, 1)``."""
+        generator = as_generator(rng)
+        return _sample_truncated_normal(generator, self.mu_sst, self.sigma_sst, 0.0, 1.0, int(size))
+
+    def sample_cycle_time(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        """Sample total cycle times, truncated to stay strictly positive."""
+        generator = as_generator(rng)
+        lower = 0.2 * self.mean_cycle_time
+        upper = 3.0 * self.mean_cycle_time
+        return _sample_truncated_normal(
+            generator, self.mean_cycle_time, self.sigma_cycle_time, lower, upper, int(size)
+        )
+
+    def transition_phase_density(self, phi: np.ndarray | float) -> np.ndarray | float:
+        """Gaussian probability density ``p(phi)`` of the transition phase.
+
+        This is the density appearing in the RNA-conservation and
+        rate-continuity constraint weights (eqs. 14-19 of the paper).
+        """
+        sigma = self.sigma_sst
+        phi_arr = np.asarray(phi, dtype=float)
+        if sigma == 0.0:
+            raise ValueError("the transition-phase density is undefined for cv_sst = 0")
+        density = np.exp(-0.5 * ((phi_arr - self.mu_sst) / sigma) ** 2) / (sigma * np.sqrt(2.0 * np.pi))
+        return density if np.ndim(phi) else float(density)
+
+    def beta(self, phi_sst: np.ndarray | float) -> np.ndarray | float:
+        """Normalised pre-division volume growth rate ``beta = 0.4 / (1 - phi_sst)``."""
+        phi_arr = np.asarray(phi_sst, dtype=float)
+        value = self.swarmer_volume_fraction / (1.0 - phi_arr)
+        return value if np.ndim(phi_sst) else float(value)

@@ -1,0 +1,100 @@
+"""Phase evolution of individual cells and initial-synchrony models.
+
+A cell's phase advances linearly in time at a rate ``1 / T_k`` (Sec. 2.1):
+``phi_k(t) = phi_k(0) + t / T_k`` until the phase reaches one, at which point
+the cell divides into a swarmer daughter (phase 0) and a stalked daughter
+(phase equal to its own transition phase).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ensure_1d
+
+
+class InitialCondition(enum.Enum):
+    """Initial synchrony model of the simulated culture.
+
+    ``SYNCHRONIZED_SWARMER``
+        The standard batch-culture protocol: every cell starts as a swarmer
+        with a phase drawn uniformly between zero and its own transition
+        phase (the paper's "each cell can be found with phi_k(0) <= phi_sst_k").
+    ``ALL_AT_ZERO``
+        A perfectly synchronised culture with every cell at phase zero.
+    ``ASYNCHRONOUS``
+        A fully asynchronous culture with phases uniform on ``[0, 1)``.
+    """
+
+    SYNCHRONIZED_SWARMER = "synchronized_swarmer"
+    ALL_AT_ZERO = "all_at_zero"
+    ASYNCHRONOUS = "asynchronous"
+
+
+def sample_initial_phases(
+    transition_phases: np.ndarray,
+    condition: InitialCondition = InitialCondition.SYNCHRONIZED_SWARMER,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Sample initial phases for cells with the given transition phases.
+
+    Parameters
+    ----------
+    transition_phases:
+        Per-cell transition phases ``phi_sst_k``.
+    condition:
+        Initial synchrony model.
+    rng:
+        Seed or generator.
+    """
+    transition_phases = ensure_1d(transition_phases, "transition_phases")
+    generator = as_generator(rng)
+    if condition is InitialCondition.ALL_AT_ZERO:
+        return np.zeros_like(transition_phases)
+    if condition is InitialCondition.SYNCHRONIZED_SWARMER:
+        return generator.uniform(0.0, transition_phases)
+    if condition is InitialCondition.ASYNCHRONOUS:
+        return generator.uniform(0.0, 1.0, transition_phases.size)
+    raise ValueError(f"unknown initial condition {condition!r}")
+
+
+def phase_at_time(
+    initial_phase: np.ndarray | float,
+    cycle_time: np.ndarray | float,
+    elapsed: float,
+) -> np.ndarray | float:
+    """Phase of a cell after ``elapsed`` minutes (uncapped linear advance)."""
+    return initial_phase + elapsed / np.asarray(cycle_time, dtype=float)
+
+
+def time_to_division(
+    initial_phase: np.ndarray | float,
+    cycle_time: np.ndarray | float,
+) -> np.ndarray | float:
+    """Time remaining until division, ``T_k (1 - phi_k(0))``."""
+    return np.asarray(cycle_time, dtype=float) * (1.0 - np.asarray(initial_phase, dtype=float))
+
+
+def draw_cohort(
+    parameters: CellCycleParameters,
+    size: int,
+    condition: InitialCondition = InitialCondition.SYNCHRONIZED_SWARMER,
+    rng: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw an initial cohort of cells.
+
+    Returns
+    -------
+    tuple of arrays
+        ``(initial_phases, cycle_times, transition_phases)`` each of length
+        ``size``.
+    """
+    generator = as_generator(rng)
+    transition_phases = parameters.sample_transition_phase(size, generator)
+    cycle_times = parameters.sample_cycle_time(size, generator)
+    initial_phases = sample_initial_phases(transition_phases, condition, generator)
+    return initial_phases, cycle_times, transition_phases

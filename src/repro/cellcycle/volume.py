@@ -1,0 +1,166 @@
+"""Cell-volume models ``v_k(phi)``.
+
+Three models are provided:
+
+* :class:`LinearVolumeModel` — a single straight line from ``0.4 V0`` at
+  ``phi = 0`` to ``V0`` at ``phi = 1`` (the "purely linear" 2009 baseline that
+  ignores the 40/60 split at the transition phase).
+* :class:`PiecewiseLinearVolumeModel` — linear on ``[0, phi_sst]`` and
+  ``[phi_sst, 1]`` hitting ``0.4 V0``, ``0.6 V0`` and ``V0`` (volume
+  partition respected but with a kink at the transition).
+* :class:`SmoothVolumeModel` — the paper's updated piecewise-polynomial model
+  (eq. 11) which additionally matches the volume growth *rate* across
+  division, ``v'(0) = v'(phi_sst) = v'(1)``.
+
+All models are normalised so that ``v(1) = V0`` (the pre-division volume).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+class VolumeModel(abc.ABC):
+    """Interface of a single-cell volume model.
+
+    Parameters
+    ----------
+    v0:
+        Pre-division cell volume ``V0 = v(1)`` (arbitrary units).
+    """
+
+    name: str = "volume"
+
+    def __init__(self, v0: float = 1.0) -> None:
+        self.v0 = check_positive(v0, "v0")
+
+    @abc.abstractmethod
+    def _relative_volume(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        """Volume divided by ``V0`` for arrays of equal shape."""
+
+    @abc.abstractmethod
+    def _relative_derivative(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        """d(v/V0)/dphi for arrays of equal shape."""
+
+    def volume(self, phi: np.ndarray | float, phi_sst: np.ndarray | float) -> np.ndarray | float:
+        """Cell volume at phase ``phi`` for a cell with transition phase ``phi_sst``."""
+        phi_arr, sst_arr, scalar = _broadcast(phi, phi_sst)
+        result = self.v0 * self._relative_volume(phi_arr, sst_arr)
+        return float(result[()]) if scalar else result
+
+    def derivative(self, phi: np.ndarray | float, phi_sst: np.ndarray | float) -> np.ndarray | float:
+        """Volume growth rate ``dv/dphi`` at phase ``phi``."""
+        phi_arr, sst_arr, scalar = _broadcast(phi, phi_sst)
+        result = self.v0 * self._relative_derivative(phi_arr, sst_arr)
+        return float(result[()]) if scalar else result
+
+    def swarmer_birth_volume(self) -> float:
+        """Volume of a newborn swarmer daughter (``v(0)``)."""
+        return 0.4 * self.v0
+
+    def stalked_birth_volume(self, phi_sst: float) -> float:
+        """Volume of a newborn stalked daughter (``v(phi_sst)``)."""
+        return float(self.volume(phi_sst, phi_sst))
+
+
+def _broadcast(phi, phi_sst) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Broadcast phase and transition-phase inputs and validate their ranges."""
+    phi_arr = np.asarray(phi, dtype=float)
+    sst_arr = np.asarray(phi_sst, dtype=float)
+    scalar = phi_arr.ndim == 0 and sst_arr.ndim == 0
+    phi_arr, sst_arr = np.broadcast_arrays(phi_arr, sst_arr)
+    phi_arr = np.asarray(phi_arr, dtype=float)
+    sst_arr = np.asarray(sst_arr, dtype=float)
+    if np.any(phi_arr < -1e-9) or np.any(phi_arr > 1.0 + 1e-9):
+        raise ValueError("phase values must lie in [0, 1]")
+    if np.any(sst_arr <= 0.0) or np.any(sst_arr >= 1.0):
+        raise ValueError("transition phases must lie strictly inside (0, 1)")
+    return np.clip(phi_arr, 0.0, 1.0), sst_arr, scalar
+
+
+class LinearVolumeModel(VolumeModel):
+    """Single straight line from ``0.4 V0`` at ``phi = 0`` to ``V0`` at ``phi = 1``."""
+
+    name = "linear"
+
+    def _relative_volume(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        return 0.4 + 0.6 * phi
+
+    def _relative_derivative(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        return np.full_like(phi, 0.6)
+
+
+class PiecewiseLinearVolumeModel(VolumeModel):
+    """Two linear pieces hitting ``0.4 V0``, ``0.6 V0`` and ``V0``.
+
+    Respects the 40/60 volume partition at the transition phase but has a
+    discontinuous growth rate there (the constraint relaxed by the smooth
+    model of eq. 11).
+    """
+
+    name = "piecewise_linear"
+
+    def _relative_volume(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        early = 0.4 + 0.2 * phi / phi_sst
+        late = 0.6 + 0.4 * (phi - phi_sst) / (1.0 - phi_sst)
+        return np.where(phi < phi_sst, early, late)
+
+    def _relative_derivative(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        early = 0.2 / phi_sst
+        late = 0.4 / (1.0 - phi_sst)
+        return np.where(phi < phi_sst, early, late)
+
+
+class SmoothVolumeModel(VolumeModel):
+    """Smooth piecewise-polynomial volume model of eq. 11 in the paper.
+
+    The cubic piece on ``[0, phi_sst)`` and the linear piece on
+    ``[phi_sst, 1]`` satisfy
+
+    * ``v(0) = 0.4 V0``, ``v(phi_sst) = 0.6 V0``, ``v(1) = V0`` (the measured
+      40/60 volume partition), and
+    * ``v'(0) = v'(phi_sst) = v'(1) = 0.4 V0 / (1 - phi_sst)`` (continuity of
+      the growth rate across division).
+    """
+
+    name = "smooth"
+
+    def _relative_volume(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        s = phi_sst
+        linear_coeff = 0.4 / (1.0 - s)
+        quad_coeff = (0.6 - 1.8 * s) / ((1.0 - s) * s**2)
+        cubic_coeff = (1.2 * s - 0.4) / ((1.0 - s) * s**3)
+        early = 0.4 + linear_coeff * phi + quad_coeff * phi**2 + cubic_coeff * phi**3
+        late = 1.0 - 0.4 / (1.0 - s) + linear_coeff * phi
+        return np.where(phi < s, early, late)
+
+    def _relative_derivative(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
+        s = phi_sst
+        linear_coeff = 0.4 / (1.0 - s)
+        quad_coeff = (0.6 - 1.8 * s) / ((1.0 - s) * s**2)
+        cubic_coeff = (1.2 * s - 0.4) / ((1.0 - s) * s**3)
+        early = linear_coeff + 2.0 * quad_coeff * phi + 3.0 * cubic_coeff * phi**2
+        late = np.broadcast_to(linear_coeff, phi.shape)
+        return np.where(phi < s, early, late)
+
+
+_VOLUME_MODELS = {
+    LinearVolumeModel.name: LinearVolumeModel,
+    PiecewiseLinearVolumeModel.name: PiecewiseLinearVolumeModel,
+    SmoothVolumeModel.name: SmoothVolumeModel,
+}
+
+
+def make_volume_model(name: str, v0: float = 1.0) -> VolumeModel:
+    """Construct a volume model by name (``linear``, ``piecewise_linear``, ``smooth``)."""
+    try:
+        cls = _VOLUME_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown volume model {name!r}; available: {sorted(_VOLUME_MODELS)}"
+        ) from None
+    return cls(v0=v0)

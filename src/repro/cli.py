@@ -1,0 +1,141 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage::
+
+    python -m repro.cli figure2 [--noise 0.1] [--cells 8000] [--seed 42]
+    python -m repro.cli figure4
+    python -m repro.cli figure5 [--output profile.csv]
+    python -m repro.cli sensitivity
+
+Each sub-command runs the corresponding experiment driver and prints the
+series / metrics that the paper figure reports.  ``figure5`` can additionally
+write the deconvolved profile to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+import numpy as np
+
+from repro.cellcycle.celltypes import CellType
+from repro.data.io import save_profile_csv
+from repro.data.timeseries import PhaseProfile
+from repro.experiments.figure2 import run_oscillator_experiment
+from repro.experiments.figure4 import run_celltype_experiment
+from repro.experiments.figure5 import run_ftsz_experiment
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.sensitivity import run_mu_sst_sensitivity
+from repro.viz.ascii import ascii_compare
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In silico synchronization of cellular populations (DAC 2011 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    oscillator = subparsers.add_parser("figure2", help="Lotka-Volterra oscillator deconvolution")
+    oscillator.add_argument("--noise", type=float, default=0.0, help="noise fraction (0.1 for Figure 3)")
+    oscillator.add_argument("--cells", type=int, default=8000, help="Monte-Carlo founder cells")
+    oscillator.add_argument("--seed", type=int, default=42, help="random seed")
+    oscillator.add_argument("--plot", action="store_true", help="also print an ASCII plot")
+
+    subparsers.add_parser("figure4", help="cell-type distribution vs reference")
+
+    ftsz = subparsers.add_parser("figure5", help="ftsZ population vs deconvolved expression")
+    ftsz.add_argument("--cells", type=int, default=10_000, help="Monte-Carlo founder cells")
+    ftsz.add_argument("--seed", type=int, default=2011, help="random seed")
+    ftsz.add_argument("--output", type=str, default=None, help="write the deconvolved profile to this CSV")
+
+    sensitivity = subparsers.add_parser(
+        "sensitivity", help="sensitivity of the recovery to the assumed SW-to-ST transition phase"
+    )
+    sensitivity.add_argument("--cells", type=int, default=4000, help="Monte-Carlo founder cells")
+    sensitivity.add_argument("--seed", type=int, default=17, help="random seed")
+    return parser
+
+
+def _run_figure2(args: argparse.Namespace) -> int:
+    result = run_oscillator_experiment(
+        noise_fraction=args.noise, num_cells=args.cells, rng=args.seed
+    )
+    for name in ("x1", "x2"):
+        print(format_series(f"{name} population", result.times, result.population[name],
+                            x_label="minutes", y_label="concentration"))
+        times, values = result.deconvolved[name].profile_vs_time(19)
+        print(format_series(f"{name} deconvolved", times, values,
+                            x_label="minutes", y_label="concentration"))
+        if args.plot:
+            print(ascii_compare(
+                {
+                    "single cell": (result.times, result.single_cell[name]),
+                    "population": (result.times, result.population[name]),
+                },
+                x_label="minutes", y_label=name,
+            ))
+    print(format_table(
+        ["species", "deconv NRMSE", "improvement", "correlation"],
+        [[name, comp.nrmse, comp.improvement_factor, comp.correlation]
+         for name, comp in result.comparisons.items()],
+    ))
+    return 0
+
+
+def _run_figure4(args: argparse.Namespace) -> int:
+    result = run_celltype_experiment()
+    rows = []
+    for index, time in enumerate(result.simulated.times):
+        row = [time]
+        row += [result.simulated.fractions[t][index] for t in CellType.ordered()]
+        rows.append(row)
+    print(format_table(["minutes"] + [t.value for t in CellType.ordered()], rows, precision=3))
+    print(f"mean |simulated - reference| = {result.mean_error:.3f}")
+    return 0
+
+
+def _run_figure5(args: argparse.Namespace) -> int:
+    result = run_ftsz_experiment(num_cells=args.cells, rng=args.seed)
+    series = result.dataset.series
+    print(format_series("population ftsZ", series.times, series.values,
+                        x_label="minutes", y_label="expression"))
+    times, values = result.result.profile_vs_time(21)
+    print(format_series("deconvolved ftsZ", times, values,
+                        x_label="simulated minutes", y_label="expression"))
+    print(f"deconvolved onset phase: {result.deconvolved_onset_phase:.3f} "
+          f"(population: {result.population_onset_phase:.3f})")
+    if args.output:
+        phases, profile_values = result.result.profile_on_grid(201)
+        path = save_profile_csv(PhaseProfile(phases, profile_values, name="ftsZ_deconvolved"), args.output)
+        print(f"wrote deconvolved profile to {path}")
+    return 0
+
+
+def _run_sensitivity(args: argparse.Namespace) -> int:
+    result = run_mu_sst_sensitivity(num_cells=args.cells, rng=args.seed)
+    print(format_table(
+        ["assumed mu_sst", "deconvolution NRMSE"],
+        [[value, error] for value, error in zip(result.assumed_values, result.errors)],
+    ))
+    print(f"true mu_sst = {result.true_value}; best assumed = {result.best_assumed_value()}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "figure2": _run_figure2,
+        "figure4": _run_figure4,
+        "figure5": _run_figure5,
+        "sensitivity": _run_sensitivity,
+    }
+    with np.printoptions(precision=4, suppress=True):
+        return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

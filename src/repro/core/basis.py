@@ -1,0 +1,115 @@
+"""Natural-cubic-spline basis for the synchronous expression ``f(phi)``.
+
+Following Sec. 2.3 of the paper, ``f`` is modelled as
+``f_alpha(phi) = sum_i alpha_i psi_i(phi)`` where the ``psi_i`` are natural
+cubic splines.  Here the ``i``-th basis function is the natural cubic spline
+that interpolates one at knot ``i`` and zero at every other knot (the cardinal
+spline basis), which makes the coefficients directly interpretable as knot
+values of the profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.interpolation import NaturalCubicSpline
+from repro.utils.validation import check_sorted, ensure_1d
+
+
+class SplineBasis:
+    """Cardinal natural-cubic-spline basis on ``[0, 1]``.
+
+    Parameters
+    ----------
+    num_basis:
+        Number of basis functions (equivalently knots); at least four.
+    knots:
+        Optional explicit strictly increasing knot vector covering ``[0, 1]``;
+        overrides ``num_basis`` when given.
+    """
+
+    def __init__(self, num_basis: int = 12, knots: np.ndarray | None = None) -> None:
+        if knots is not None:
+            self.knots = check_sorted(knots, "knots")
+            if abs(self.knots[0]) > 1e-12 or abs(self.knots[-1] - 1.0) > 1e-12:
+                raise ValueError("explicit knots must start at 0 and end at 1")
+        else:
+            num_basis = int(num_basis)
+            if num_basis < 4:
+                raise ValueError(f"num_basis must be >= 4, got {num_basis}")
+            self.knots = np.linspace(0.0, 1.0, num_basis)
+        if self.knots.size < 4:
+            raise ValueError("the basis needs at least four knots")
+        self._splines = [
+            NaturalCubicSpline(self.knots, np.eye(self.knots.size)[i])
+            for i in range(self.knots.size)
+        ]
+
+    @property
+    def num_basis(self) -> int:
+        """Number of basis functions."""
+        return int(self.knots.size)
+
+    def evaluate(self, phases: np.ndarray) -> np.ndarray:
+        """Basis matrix ``B[j, i] = psi_i(phases[j])``."""
+        phases = ensure_1d(phases, "phases")
+        return np.column_stack([spline(phases) for spline in self._splines])
+
+    def evaluate_derivative(self, phases: np.ndarray) -> np.ndarray:
+        """First-derivative basis matrix ``B'[j, i] = psi_i'(phases[j])``."""
+        phases = ensure_1d(phases, "phases")
+        return np.column_stack([spline.derivative(phases) for spline in self._splines])
+
+    def evaluate_second_derivative(self, phases: np.ndarray) -> np.ndarray:
+        """Second-derivative basis matrix ``B''[j, i] = psi_i''(phases[j])``."""
+        phases = ensure_1d(phases, "phases")
+        return np.column_stack([spline.second_derivative(phases) for spline in self._splines])
+
+    def penalty_matrix(self) -> np.ndarray:
+        """Roughness penalty ``Omega[i, j] = \\int psi_i''(phi) psi_j''(phi) dphi``.
+
+        The integral is evaluated exactly (the second derivatives are
+        piecewise linear), so the matrix is symmetric positive semi-definite
+        with the constant and linear functions in its null space.
+        """
+        n = self.num_basis
+        omega = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i, n):
+                value = self._splines[i].roughness_cross(self._splines[j])
+                omega[i, j] = value
+                omega[j, i] = value
+        return omega
+
+    def profile(self, coefficients: np.ndarray, phases: np.ndarray) -> np.ndarray:
+        """Evaluate ``f_alpha`` at ``phases`` for the given coefficients."""
+        coefficients = ensure_1d(coefficients, "coefficients")
+        if coefficients.size != self.num_basis:
+            raise ValueError("coefficient vector has the wrong length")
+        return self.evaluate(phases) @ coefficients
+
+    def profile_derivative(self, coefficients: np.ndarray, phases: np.ndarray) -> np.ndarray:
+        """Evaluate ``f_alpha'`` at ``phases`` for the given coefficients."""
+        coefficients = ensure_1d(coefficients, "coefficients")
+        if coefficients.size != self.num_basis:
+            raise ValueError("coefficient vector has the wrong length")
+        return self.evaluate_derivative(phases) @ coefficients
+
+    def interpolation_coefficients(self, phases: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Least-squares coefficients reproducing ``values`` sampled at ``phases``.
+
+        Useful for projecting a known synchronous profile (e.g. the
+        Lotka-Volterra ground truth) onto the basis for error analysis.
+        """
+        design = self.evaluate(phases)
+        values = ensure_1d(values, "values")
+        if values.size != design.shape[0]:
+            raise ValueError("phases and values must have the same length")
+        coefficients, *_ = np.linalg.lstsq(design, values, rcond=None)
+        return coefficients
+
+    def roughness(self, coefficients: np.ndarray) -> float:
+        """Roughness ``\\int f_alpha''(phi)^2 dphi`` of a coefficient vector."""
+        coefficients = ensure_1d(coefficients, "coefficients")
+        omega = self.penalty_matrix()
+        return float(coefficients @ omega @ coefficients)

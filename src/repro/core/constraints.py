@@ -1,0 +1,266 @@
+"""Physical constraints on the deconvolved expression profile.
+
+The paper imposes three kinds of constraints on ``f_alpha`` (Secs. 2.3 and
+3.2), all linear in the spline coefficients ``alpha``:
+
+* **Positivity** — expression concentrations cannot be negative, enforced on a
+  fine phase grid: ``f_alpha(phi_j) >= 0``.
+* **RNA conservation across division** — the transcript concentration just
+  before division must equal the volume-weighted combination of the daughter
+  concentrations: ``f(1) = 0.4 f(0) + 0.6 E[f(phi_sst)]``, i.e.
+  ``\\int w(phi) f(phi) dphi = 0`` with
+  ``w(phi) = delta(1 - phi) - 0.4 delta(phi) - 0.6 p(phi)``.
+* **Rate continuity across division** (the Sec. 3.2 update) — the rate of
+  change of the transcript *number* must also be continuous:
+  ``\\int w1(phi) f(phi) dphi = \\int w2(phi) f'(phi) dphi`` with
+  ``w1 = beta0 delta(1-phi) - beta0 delta(phi) - beta(phi) p(phi)`` and
+  ``w2 = 0.4 delta(phi) + 0.6 p(phi) - delta(1-phi)`` (eqs. 17-19).
+
+Each constraint object converts itself into rows of a linear equality or
+inequality system over ``alpha``; :class:`ConstraintSet` collects those rows
+so the deconvolution problem can toggle constraints for ablation studies.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.core.basis import SplineBasis
+from repro.numerics.quadrature import simpson_weights
+from repro.utils.gridding import phase_grid
+
+
+@dataclass
+class ConstraintSet:
+    """Linear constraint rows over the spline coefficients.
+
+    ``equality_matrix @ alpha = equality_vector`` and
+    ``inequality_matrix @ alpha >= inequality_vector``.
+    """
+
+    equality_matrix: np.ndarray
+    equality_vector: np.ndarray
+    inequality_matrix: np.ndarray
+    inequality_vector: np.ndarray
+    names: list[str] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls, num_coefficients: int) -> "ConstraintSet":
+        """A constraint set with no rows."""
+        return cls(
+            equality_matrix=np.zeros((0, num_coefficients)),
+            equality_vector=np.zeros(0),
+            inequality_matrix=np.zeros((0, num_coefficients)),
+            inequality_vector=np.zeros(0),
+            names=[],
+        )
+
+    def add_equalities(self, rows: np.ndarray, rhs: np.ndarray, name: str) -> None:
+        """Append equality rows."""
+        self.equality_matrix = np.vstack([self.equality_matrix, np.atleast_2d(rows)])
+        self.equality_vector = np.concatenate([self.equality_vector, np.atleast_1d(rhs)])
+        self.names.append(name)
+
+    def add_inequalities(self, rows: np.ndarray, rhs: np.ndarray, name: str) -> None:
+        """Append inequality rows (``rows @ alpha >= rhs``)."""
+        self.inequality_matrix = np.vstack([self.inequality_matrix, np.atleast_2d(rows)])
+        self.inequality_vector = np.concatenate([self.inequality_vector, np.atleast_1d(rhs)])
+        self.names.append(name)
+
+    @property
+    def has_equalities(self) -> bool:
+        """Whether any equality rows are present."""
+        return self.equality_matrix.shape[0] > 0
+
+    @property
+    def has_inequalities(self) -> bool:
+        """Whether any inequality rows are present."""
+        return self.inequality_matrix.shape[0] > 0
+
+    def violations(self, coefficients: np.ndarray, tol: float = 1e-8) -> dict[str, float]:
+        """Maximum equality residual and inequality violation of a solution."""
+        eq_violation = 0.0
+        if self.has_equalities:
+            eq_violation = float(
+                np.max(np.abs(self.equality_matrix @ coefficients - self.equality_vector))
+            )
+        ineq_violation = 0.0
+        if self.has_inequalities:
+            slack = self.inequality_matrix @ coefficients - self.inequality_vector
+            ineq_violation = float(max(0.0, -np.min(slack, initial=0.0)))
+        return {"equality": eq_violation, "inequality": ineq_violation, "tolerance": tol}
+
+
+class Constraint(abc.ABC):
+    """Interface of a linear constraint contributor."""
+
+    name: str = "constraint"
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        constraint_set: ConstraintSet,
+        basis: SplineBasis,
+        parameters: CellCycleParameters,
+    ) -> None:
+        """Append this constraint's rows to ``constraint_set``."""
+
+
+class PositivityConstraint(Constraint):
+    """Non-negativity of the expression on a fine phase grid.
+
+    Parameters
+    ----------
+    grid_size:
+        Number of equally spaced phases at which ``f_alpha >= 0`` is enforced.
+    """
+
+    name = "positivity"
+
+    def __init__(self, grid_size: int = 201) -> None:
+        grid_size = int(grid_size)
+        if grid_size < 2:
+            raise ValueError("grid_size must be >= 2")
+        self.grid_size = grid_size
+
+    def apply(
+        self,
+        constraint_set: ConstraintSet,
+        basis: SplineBasis,
+        parameters: CellCycleParameters,
+    ) -> None:
+        grid = phase_grid(self.grid_size)
+        rows = basis.evaluate(grid)
+        constraint_set.add_inequalities(rows, np.zeros(grid.size), self.name)
+
+
+def _density_quadrature(
+    parameters: CellCycleParameters, grid_size: int = 2001
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense grid, Simpson weights and transition-phase density values."""
+    grid = phase_grid(grid_size)
+    weights = simpson_weights(grid)
+    density = np.asarray(parameters.transition_phase_density(grid), dtype=float)
+    # Renormalise the truncated Gaussian on [0, 1] so the constraint weights
+    # integrate the density to exactly one.
+    mass = float(weights @ density)
+    density = density / mass
+    return grid, weights, density
+
+
+class RNAConservationConstraint(Constraint):
+    """Conservation of transcript number across cell division.
+
+    Enforces ``f(1) - 0.4 f(0) - 0.6 \\int p(phi) f(phi) dphi = 0``.
+    """
+
+    name = "rna_conservation"
+
+    def __init__(self, quadrature_size: int = 2001) -> None:
+        self.quadrature_size = int(quadrature_size)
+
+    def apply(
+        self,
+        constraint_set: ConstraintSet,
+        basis: SplineBasis,
+        parameters: CellCycleParameters,
+    ) -> None:
+        grid, weights, density = _density_quadrature(parameters, self.quadrature_size)
+        basis_at_one = basis.evaluate(np.array([1.0]))[0]
+        basis_at_zero = basis.evaluate(np.array([0.0]))[0]
+        density_integral = (weights * density) @ basis.evaluate(grid)
+        row = (
+            basis_at_one
+            - parameters.swarmer_volume_fraction * basis_at_zero
+            - parameters.stalked_volume_fraction * density_integral
+        )
+        constraint_set.add_equalities(row, np.zeros(1), self.name)
+
+
+class RateContinuityConstraint(Constraint):
+    """Continuity of the transcript-generation rate across division (Sec. 3.2).
+
+    Enforces eq. 17: ``\\int w1(phi) f(phi) dphi = \\int w2(phi) f'(phi) dphi``
+    with the delta-function parts evaluated directly through the basis.
+    """
+
+    name = "rate_continuity"
+
+    def __init__(self, quadrature_size: int = 2001) -> None:
+        self.quadrature_size = int(quadrature_size)
+
+    def apply(
+        self,
+        constraint_set: ConstraintSet,
+        basis: SplineBasis,
+        parameters: CellCycleParameters,
+    ) -> None:
+        grid, weights, density = _density_quadrature(parameters, self.quadrature_size)
+        # beta(phi) = 0.4 / (1 - phi) diverges at phi = 1, where the transition
+        # density has long since vanished; evaluate the product beta * p with
+        # the zero-density points masked so the divergence never enters.
+        # beta(phi) = 0.4 / (1 - phi) diverges at phi = 1, where the transition
+        # density is (numerically) negligible; evaluate the product beta * p
+        # only away from that endpoint so no infinities enter the row.
+        usable = (density > 0.0) & (grid < 1.0 - 1e-9)
+        beta_density = np.zeros_like(density)
+        beta_density[usable] = (
+            np.asarray(parameters.beta(grid[usable]), dtype=float) * density[usable]
+        )
+        beta0 = float(weights @ beta_density)
+
+        basis_at_one = basis.evaluate(np.array([1.0]))[0]
+        basis_at_zero = basis.evaluate(np.array([0.0]))[0]
+        deriv_at_one = basis.evaluate_derivative(np.array([1.0]))[0]
+        deriv_at_zero = basis.evaluate_derivative(np.array([0.0]))[0]
+        basis_on_grid = basis.evaluate(grid)
+        deriv_on_grid = basis.evaluate_derivative(grid)
+
+        # Left-hand side of eq. 17: integral of w1 against f.
+        lhs = (
+            beta0 * basis_at_one
+            - beta0 * basis_at_zero
+            - (weights * beta_density) @ basis_on_grid
+        )
+        # Right-hand side of eq. 17: integral of w2 against f'.
+        rhs = (
+            parameters.swarmer_volume_fraction * deriv_at_zero
+            + parameters.stalked_volume_fraction * ((weights * density) @ deriv_on_grid)
+            - deriv_at_one
+        )
+        row = lhs - rhs
+        constraint_set.add_equalities(row, np.zeros(1), self.name)
+
+
+def default_constraints(
+    *,
+    positivity: bool = True,
+    rna_conservation: bool = True,
+    rate_continuity: bool = True,
+    positivity_grid: int = 201,
+) -> list[Constraint]:
+    """The paper's default constraint stack, with per-constraint toggles."""
+    constraints: list[Constraint] = []
+    if positivity:
+        constraints.append(PositivityConstraint(grid_size=positivity_grid))
+    if rna_conservation:
+        constraints.append(RNAConservationConstraint())
+    if rate_continuity:
+        constraints.append(RateContinuityConstraint())
+    return constraints
+
+
+def build_constraint_set(
+    constraints: list[Constraint],
+    basis: SplineBasis,
+    parameters: CellCycleParameters,
+) -> ConstraintSet:
+    """Assemble the linear rows of all given constraints."""
+    constraint_set = ConstraintSet.empty(basis.num_basis)
+    for constraint in constraints:
+        constraint.apply(constraint_set, basis, parameters)
+    return constraint_set

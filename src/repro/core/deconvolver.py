@@ -1,0 +1,204 @@
+"""High-level deconvolution facade.
+
+:class:`Deconvolver` is the public entry point of the library: given a
+volume-density kernel (or the ingredients to build one) it turns a
+population-level expression time series into an estimate of the synchronous
+single-cell profile ``f(phi)``, handling basis construction, constraint
+assembly, smoothing-parameter selection and the constrained QP solve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import config
+from repro.cellcycle.kernel import KernelBuilder, VolumeKernel
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.core.basis import SplineBasis
+from repro.core.constraints import Constraint, default_constraints
+from repro.core.forward import ForwardModel
+from repro.core.lambda_selection import select_lambda
+from repro.core.problem import DeconvolutionProblem
+from repro.core.result import DeconvolutionResult
+from repro.utils.rng import SeedLike
+from repro.utils.validation import ensure_1d
+
+
+class Deconvolver:
+    """In-silico synchronisation of population expression time series.
+
+    Parameters
+    ----------
+    kernel:
+        Pre-built volume-density kernel whose times match the measurements to
+        be deconvolved.  If omitted, a kernel is built on demand from
+        ``parameters`` with :class:`~repro.cellcycle.kernel.KernelBuilder`.
+    parameters:
+        Cell-cycle parameters (used both for kernel construction and for the
+        division constraints); defaults to the paper's Caulobacter values.
+    num_basis:
+        Number of natural-cubic-spline basis functions for ``f(phi)``.
+    constraints:
+        Constraint objects; defaults to the paper's full stack (positivity,
+        RNA conservation, rate continuity).
+    solver_backend:
+        QP backend: ``"auto"`` (in-repo active-set solver with SciPy fallback),
+        ``"active_set"`` or ``"scipy"``.
+    kernel_builder:
+        Optional pre-configured builder used when ``kernel`` is omitted.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[VolumeKernel] = None,
+        *,
+        parameters: Optional[CellCycleParameters] = None,
+        num_basis: int = config.DEFAULT_NUM_BASIS,
+        constraints: Optional[Sequence[Constraint]] = None,
+        solver_backend: str = "auto",
+        kernel_builder: Optional[KernelBuilder] = None,
+    ) -> None:
+        self.parameters = parameters if parameters is not None else CellCycleParameters()
+        self.kernel = kernel
+        self.kernel_builder = kernel_builder
+        self.basis = SplineBasis(num_basis=num_basis)
+        if constraints is None:
+            self.constraints: list[Constraint] = default_constraints()
+        else:
+            self.constraints = list(constraints)
+        self.solver_backend = solver_backend
+
+    def ensure_kernel(self, times: np.ndarray, rng: SeedLike = 0) -> VolumeKernel:
+        """Return a kernel matching ``times``, building one if necessary."""
+        times = ensure_1d(times, "times")
+        if self.kernel is not None:
+            if self.kernel.times.size != times.size or not np.allclose(self.kernel.times, times):
+                raise ValueError(
+                    "the provided kernel's measurement times do not match the data times"
+                )
+            return self.kernel
+        builder = self.kernel_builder
+        if builder is None:
+            builder = KernelBuilder(self.parameters)
+        self.kernel = builder.build(times, rng)
+        return self.kernel
+
+    def build_problem(
+        self,
+        times: np.ndarray,
+        measurements: np.ndarray,
+        *,
+        sigma: np.ndarray | float | None = None,
+        rng: SeedLike = 0,
+    ) -> DeconvolutionProblem:
+        """Assemble the optimisation problem for a measurement series."""
+        measurements = ensure_1d(measurements, "measurements")
+        kernel = self.ensure_kernel(times, rng)
+        forward = ForwardModel(kernel, self.basis)
+        return DeconvolutionProblem(
+            forward,
+            measurements,
+            sigma=sigma,
+            constraints=self.constraints,
+            parameters=self.parameters,
+        )
+
+    def fit(
+        self,
+        times: np.ndarray,
+        measurements: np.ndarray,
+        *,
+        sigma: np.ndarray | float | None = None,
+        lam: float | None = None,
+        lambda_method: str = "gcv",
+        lambda_grid: np.ndarray | None = None,
+        rng: SeedLike = 0,
+    ) -> DeconvolutionResult:
+        """Deconvolve one population expression time series.
+
+        Parameters
+        ----------
+        times:
+            Measurement times in minutes.
+        measurements:
+            Population expression values ``G(t_m)``.
+        sigma:
+            Measurement standard deviations (scalar or per measurement);
+            defaults to uniform weighting.
+        lam:
+            Fixed smoothing parameter.  When ``None`` the parameter is
+            selected automatically with ``lambda_method``.
+        lambda_method:
+            ``"gcv"`` or ``"kfold"``; used only when ``lam`` is ``None``.
+        lambda_grid:
+            Candidate grid for the automatic selection.
+        rng:
+            Seed for kernel construction (when needed) and CV fold assignment.
+
+        Returns
+        -------
+        DeconvolutionResult
+            The fitted profile plus diagnostics.
+        """
+        problem = self.build_problem(times, measurements, sigma=sigma, rng=rng)
+
+        lambda_path: dict[float, float] = {}
+        if lam is None:
+            selection = select_lambda(
+                problem, lambda_grid, method=lambda_method, backend=self.solver_backend, rng=rng
+            )
+            lam = selection.best_lambda
+            lambda_path = selection.scores
+
+        qp_result = problem.solve(float(lam), backend=self.solver_backend)
+        coefficients = qp_result.x
+        fitted = problem.forward.predict(coefficients)
+        return DeconvolutionResult(
+            coefficients=coefficients,
+            basis=self.basis,
+            lam=float(lam),
+            times=ensure_1d(times, "times").copy(),
+            measurements=ensure_1d(measurements, "measurements").copy(),
+            fitted=fitted,
+            sigma=problem.sigma.copy(),
+            data_misfit=problem.data_misfit(coefficients),
+            roughness=problem.roughness(coefficients),
+            solver_converged=qp_result.converged,
+            solver_iterations=qp_result.iterations,
+            lambda_path=lambda_path,
+            mean_cycle_time=self.parameters.mean_cycle_time,
+            constraint_violations=problem.constraint_set.violations(coefficients),
+        )
+
+    def fit_many(
+        self,
+        times: np.ndarray,
+        measurement_matrix: np.ndarray,
+        *,
+        sigma: np.ndarray | float | None = None,
+        lam: float | None = None,
+        lambda_method: str = "gcv",
+        rng: SeedLike = 0,
+    ) -> list[DeconvolutionResult]:
+        """Deconvolve several species sharing the same measurement times.
+
+        ``measurement_matrix`` has one column per species.
+        """
+        matrix = np.asarray(measurement_matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("measurement_matrix must be two-dimensional")
+        results = []
+        for column in range(matrix.shape[1]):
+            results.append(
+                self.fit(
+                    times,
+                    matrix[:, column],
+                    sigma=sigma,
+                    lam=lam,
+                    lambda_method=lambda_method,
+                    rng=rng,
+                )
+            )
+        return results

@@ -1,0 +1,82 @@
+"""Fit diagnostics for deconvolution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import DeconvolutionProblem
+from repro.core.result import DeconvolutionResult
+
+
+@dataclass
+class FitDiagnostics:
+    """Diagnostics of a deconvolution fit.
+
+    Attributes
+    ----------
+    effective_degrees_of_freedom:
+        Trace of the (unconstrained) smoother matrix at the fitted ``lambda``;
+        the usual measure of model complexity for penalised splines.
+    residual_norm:
+        Unweighted 2-norm of the measurement residuals.
+    weighted_residual_norm:
+        2-norm of the residuals scaled by the measurement sigmas.
+    max_absolute_residual:
+        Largest absolute residual.
+    reduced_chi_squared:
+        Weighted misfit divided by (measurements - effective dof), when
+        positive; ``nan`` otherwise.
+    negativity:
+        Most negative value of the estimated profile on a fine grid (zero when
+        positivity holds exactly).
+    """
+
+    effective_degrees_of_freedom: float
+    residual_norm: float
+    weighted_residual_norm: float
+    max_absolute_residual: float
+    reduced_chi_squared: float
+    negativity: float
+
+
+def effective_degrees_of_freedom(problem: DeconvolutionProblem, lam: float) -> float:
+    """Trace of the unconstrained smoother matrix at smoothing parameter ``lam``."""
+    design = problem.forward.design_matrix
+    weights = 1.0 / problem.sigma**2
+    weighted_design = design * weights[:, None]
+    gram = design.T @ weighted_design
+    regularised = gram + float(lam) * problem.penalty + problem.ridge * np.eye(problem.num_coefficients)
+    try:
+        solve = np.linalg.solve(regularised, weighted_design.T)
+    except np.linalg.LinAlgError:
+        solve = np.linalg.pinv(regularised) @ weighted_design.T
+    smoother = design @ solve
+    return float(np.trace(smoother))
+
+
+def compute_diagnostics(
+    problem: DeconvolutionProblem,
+    result: DeconvolutionResult,
+    *,
+    grid_size: int = 401,
+) -> FitDiagnostics:
+    """Compute :class:`FitDiagnostics` for a fitted result."""
+    dof = effective_degrees_of_freedom(problem, result.lam)
+    residuals = result.residuals
+    weighted = result.weighted_residuals
+    num_measurements = residuals.size
+    denominator = num_measurements - dof
+    chi2 = float(np.sum(weighted**2) / denominator) if denominator > 1e-9 else float("nan")
+    phases = np.linspace(0.0, 1.0, int(grid_size))
+    profile = result.profile(phases)
+    negativity = float(min(0.0, np.min(profile)))
+    return FitDiagnostics(
+        effective_degrees_of_freedom=dof,
+        residual_norm=float(np.linalg.norm(residuals)),
+        weighted_residual_norm=float(np.linalg.norm(weighted)),
+        max_absolute_residual=float(np.max(np.abs(residuals))),
+        reduced_chi_squared=chi2,
+        negativity=negativity,
+    )

@@ -1,0 +1,84 @@
+"""Forward model: map a synchronous profile to population measurements.
+
+Implements ``G(t_m) = \\int Q(phi, t_m) f(phi) dphi`` (eq. 3) for profiles
+given either as callables, as samples on the kernel's phase grid, or as
+coefficient vectors in a :class:`~repro.core.basis.SplineBasis`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cellcycle.kernel import VolumeKernel
+from repro.core.basis import SplineBasis
+from repro.utils.validation import ensure_1d
+
+
+def convolve_profile(
+    kernel: VolumeKernel,
+    profile: Callable[[np.ndarray], np.ndarray] | np.ndarray,
+) -> np.ndarray:
+    """Population measurements produced by a synchronous profile.
+
+    Parameters
+    ----------
+    kernel:
+        Discretised volume-density kernel.
+    profile:
+        Either a callable ``f(phi)`` or an array of samples at the kernel's
+        phase-bin centres.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``G(t_m)`` at the kernel's measurement times.
+    """
+    if callable(profile):
+        return kernel.apply_function(profile)
+    return kernel.apply(np.asarray(profile, dtype=float))
+
+
+class ForwardModel:
+    """Linear forward operator from spline coefficients to population data.
+
+    Parameters
+    ----------
+    kernel:
+        Discretised volume-density kernel ``Q(phi, t)``.
+    basis:
+        Spline basis representing the synchronous profile.
+    """
+
+    def __init__(self, kernel: VolumeKernel, basis: SplineBasis) -> None:
+        self.kernel = kernel
+        self.basis = basis
+        basis_at_centers = basis.evaluate(kernel.phase_centers)
+        #: Design matrix ``A[m, i] = \int Q(phi, t_m) psi_i(phi) dphi``.
+        self.design_matrix = kernel.design_matrix(basis_at_centers)
+
+    @property
+    def num_measurements(self) -> int:
+        """Number of population measurement times."""
+        return self.kernel.num_measurements
+
+    @property
+    def num_coefficients(self) -> int:
+        """Number of spline coefficients."""
+        return self.basis.num_basis
+
+    def predict(self, coefficients: np.ndarray) -> np.ndarray:
+        """Model-predicted measurements ``G_hat(t_m)`` for spline coefficients."""
+        coefficients = ensure_1d(coefficients, "coefficients")
+        if coefficients.size != self.num_coefficients:
+            raise ValueError("coefficient vector has the wrong length")
+        return self.design_matrix @ coefficients
+
+    def restrict(self, indices: np.ndarray) -> "ForwardModel":
+        """Forward model restricted to a subset of measurements (for CV)."""
+        restricted = ForwardModel.__new__(ForwardModel)
+        restricted.kernel = self.kernel.restrict(indices)
+        restricted.basis = self.basis
+        restricted.design_matrix = self.design_matrix[np.asarray(indices, dtype=int)]
+        return restricted

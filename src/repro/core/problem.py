@@ -1,0 +1,151 @@
+"""Assembly of the deconvolution optimisation problem.
+
+The cost criterion (eq. 5) is
+
+    C(lambda) = sum_m (G(t_m) - G_hat(t_m))^2 / sigma_m^2
+                + lambda * \\int f''(phi)^2 dphi
+
+which, with ``f`` in a spline basis and ``G_hat = A alpha``, is the quadratic
+
+    C(alpha) = (G - A alpha)^T W (G - A alpha) + lambda alpha^T Omega alpha
+
+with ``W = diag(1 / sigma_m^2)``.  Minimising it subject to the linear
+constraint rows yields a convex quadratic program solved by
+:func:`repro.numerics.qp.solve_qp`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.core.basis import SplineBasis
+from repro.core.constraints import Constraint, ConstraintSet, build_constraint_set
+from repro.core.forward import ForwardModel
+from repro.numerics.qp import QPResult, QuadraticProgram, solve_qp
+from repro.utils.validation import check_positive, ensure_1d
+
+
+class DeconvolutionProblem:
+    """Regularised, constrained least-squares problem for one expression series.
+
+    Parameters
+    ----------
+    forward:
+        Forward model mapping spline coefficients to population measurements.
+    measurements:
+        Population measurements ``G(t_m)`` at the forward model's times.
+    sigma:
+        Per-measurement standard deviations ``sigma_m``.  A scalar is
+        broadcast; defaults to one (unweighted least squares).
+    constraints:
+        Constraint objects; defaults to none (use
+        :func:`repro.core.constraints.default_constraints` for the paper's
+        stack).
+    parameters:
+        Cell-cycle parameters used by the division constraints.
+    ridge:
+        Small multiple of the identity added to the Hessian so the QP stays
+        strictly convex even when ``lambda`` is tiny and ``A`` is rank
+        deficient.
+    """
+
+    def __init__(
+        self,
+        forward: ForwardModel,
+        measurements: np.ndarray,
+        *,
+        sigma: np.ndarray | float | None = None,
+        constraints: Optional[list[Constraint]] = None,
+        parameters: Optional[CellCycleParameters] = None,
+        ridge: float = 1e-10,
+    ) -> None:
+        self.forward = forward
+        self.measurements = ensure_1d(measurements, "measurements")
+        if self.measurements.size != forward.num_measurements:
+            raise ValueError("measurements length does not match the forward model")
+        self.parameters = parameters if parameters is not None else CellCycleParameters()
+        self.sigma = self._normalise_sigma(sigma)
+        self.constraints = list(constraints) if constraints is not None else []
+        self.ridge = check_positive(ridge, "ridge", strict=False)
+
+        self.basis = forward.basis
+        self.penalty = self.basis.penalty_matrix()
+        self.constraint_set: ConstraintSet = build_constraint_set(
+            self.constraints, self.basis, self.parameters
+        )
+        self._weights = 1.0 / self.sigma**2
+
+    def _normalise_sigma(self, sigma: np.ndarray | float | None) -> np.ndarray:
+        if sigma is None:
+            return np.ones_like(self.measurements)
+        sigma_arr = np.broadcast_to(np.asarray(sigma, dtype=float), self.measurements.shape).copy()
+        if np.any(sigma_arr <= 0) or not np.all(np.isfinite(sigma_arr)):
+            raise ValueError("sigma must be positive and finite")
+        return sigma_arr
+
+    @property
+    def num_coefficients(self) -> int:
+        """Number of spline coefficients."""
+        return self.forward.num_coefficients
+
+    def data_misfit(self, coefficients: np.ndarray) -> float:
+        """Weighted squared residual (first term of eq. 5)."""
+        residual = self.measurements - self.forward.predict(coefficients)
+        return float(np.sum(self._weights * residual**2))
+
+    def roughness(self, coefficients: np.ndarray) -> float:
+        """Roughness ``\\int f''^2`` (second term of eq. 5, without ``lambda``)."""
+        coefficients = ensure_1d(coefficients, "coefficients")
+        return float(coefficients @ self.penalty @ coefficients)
+
+    def cost(self, coefficients: np.ndarray, lam: float) -> float:
+        """Full cost ``C(lambda)`` of eq. 5."""
+        return self.data_misfit(coefficients) + float(lam) * self.roughness(coefficients)
+
+    def quadratic_program(self, lam: float) -> QuadraticProgram:
+        """Build the convex QP for a given smoothing parameter."""
+        lam = check_positive(lam, "lam", strict=False)
+        design = self.forward.design_matrix
+        weighted_design = design * self._weights[:, None]
+        hessian = 2.0 * (design.T @ weighted_design + lam * self.penalty)
+        hessian += self.ridge * np.eye(self.num_coefficients)
+        gradient = -2.0 * (weighted_design.T @ self.measurements)
+        constraint_set = self.constraint_set
+        return QuadraticProgram(
+            hessian=hessian,
+            gradient=gradient,
+            eq_matrix=constraint_set.equality_matrix if constraint_set.has_equalities else None,
+            eq_vector=constraint_set.equality_vector if constraint_set.has_equalities else None,
+            ineq_matrix=constraint_set.inequality_matrix if constraint_set.has_inequalities else None,
+            ineq_vector=constraint_set.inequality_vector if constraint_set.has_inequalities else None,
+        )
+
+    def solve(
+        self,
+        lam: float,
+        *,
+        backend: str = "auto",
+        x0: np.ndarray | None = None,
+    ) -> QPResult:
+        """Solve the constrained problem for a given ``lambda``."""
+        program = self.quadratic_program(lam)
+        return solve_qp(program, x0, backend=backend)
+
+    def restrict(self, indices: np.ndarray) -> "DeconvolutionProblem":
+        """Problem restricted to a subset of measurements (for cross-validation)."""
+        indices = np.asarray(indices, dtype=int)
+        restricted = DeconvolutionProblem.__new__(DeconvolutionProblem)
+        restricted.forward = self.forward.restrict(indices)
+        restricted.measurements = self.measurements[indices]
+        restricted.parameters = self.parameters
+        restricted.sigma = self.sigma[indices]
+        restricted.constraints = self.constraints
+        restricted.ridge = self.ridge
+        restricted.basis = self.basis
+        restricted.penalty = self.penalty
+        restricted.constraint_set = self.constraint_set
+        restricted._weights = 1.0 / restricted.sigma**2
+        return restricted

@@ -1,0 +1,129 @@
+"""Deconvolution result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.basis import SplineBasis
+from repro.utils.validation import ensure_1d
+
+
+@dataclass
+class DeconvolutionResult:
+    """Estimated synchronous expression profile and fit metadata.
+
+    Attributes
+    ----------
+    coefficients:
+        Spline coefficients ``alpha`` of the estimated profile.
+    basis:
+        The spline basis the coefficients refer to.
+    lam:
+        Smoothing parameter used for the final fit.
+    times:
+        Population measurement times (minutes).
+    measurements:
+        Observed population values ``G(t_m)``.
+    fitted:
+        Model-predicted population values ``G_hat(t_m)``.
+    sigma:
+        Measurement standard deviations used as weights.
+    data_misfit:
+        Weighted squared residual of the fit.
+    roughness:
+        Roughness ``\\int f''^2`` of the estimate.
+    solver_converged:
+        Whether the QP solver reported convergence.
+    solver_iterations:
+        Iterations used by the QP solver.
+    lambda_path:
+        Optional record of the lambda-selection scores (lambda -> score).
+    mean_cycle_time:
+        Mean cell-cycle time used to convert phase to "simulated time".
+    """
+
+    coefficients: np.ndarray
+    basis: SplineBasis
+    lam: float
+    times: np.ndarray
+    measurements: np.ndarray
+    fitted: np.ndarray
+    sigma: np.ndarray
+    data_misfit: float
+    roughness: float
+    solver_converged: bool
+    solver_iterations: int
+    lambda_path: dict[float, float] = field(default_factory=dict)
+    mean_cycle_time: float = 150.0
+    constraint_violations: dict[str, float] = field(default_factory=dict)
+
+    def profile(self, phases: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the deconvolved profile ``f(phi)`` at the given phases."""
+        scalar = np.ndim(phases) == 0
+        phases_arr = np.atleast_1d(np.asarray(phases, dtype=float))
+        values = self.basis.profile(self.coefficients, phases_arr)
+        return float(values[0]) if scalar else values
+
+    def profile_derivative(self, phases: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the derivative ``f'(phi)`` of the deconvolved profile."""
+        scalar = np.ndim(phases) == 0
+        phases_arr = np.atleast_1d(np.asarray(phases, dtype=float))
+        values = self.basis.profile_derivative(self.coefficients, phases_arr)
+        return float(values[0]) if scalar else values
+
+    def profile_on_grid(self, num_points: int = 201) -> tuple[np.ndarray, np.ndarray]:
+        """Profile sampled on a uniform phase grid; returns ``(phases, values)``."""
+        phases = np.linspace(0.0, 1.0, int(num_points))
+        return phases, self.profile(phases)
+
+    def profile_vs_time(self, num_points: int = 201) -> tuple[np.ndarray, np.ndarray]:
+        """Profile against "simulated time" (phase scaled by the mean cycle time).
+
+        This is the scaling used for the bottom panel of Fig. 5 in the paper.
+        """
+        phases, values = self.profile_on_grid(num_points)
+        return phases * self.mean_cycle_time, values
+
+    @property
+    def residuals(self) -> np.ndarray:
+        """Raw residuals ``G - G_hat``."""
+        return self.measurements - self.fitted
+
+    @property
+    def weighted_residuals(self) -> np.ndarray:
+        """Residuals divided by the measurement standard deviations."""
+        return self.residuals / self.sigma
+
+    def cost(self) -> float:
+        """Value of the paper's cost criterion (eq. 5) at the estimate."""
+        return self.data_misfit + self.lam * self.roughness
+
+    def rmse_against(self, phases: np.ndarray, truth: np.ndarray) -> float:
+        """Root-mean-square error of the profile against a known ground truth."""
+        phases = ensure_1d(phases, "phases")
+        truth = ensure_1d(truth, "truth")
+        if phases.size != truth.size:
+            raise ValueError("phases and truth must have the same length")
+        estimate = self.profile(phases)
+        return float(np.sqrt(np.mean((estimate - truth) ** 2)))
+
+    def summary(self) -> str:
+        """Short human-readable fit summary."""
+        lines = [
+            "DeconvolutionResult:",
+            f"  basis functions      : {self.basis.num_basis}",
+            f"  lambda               : {self.lam:.4g}",
+            f"  data misfit          : {self.data_misfit:.6g}",
+            f"  roughness            : {self.roughness:.6g}",
+            f"  cost                 : {self.cost():.6g}",
+            f"  solver converged     : {self.solver_converged}",
+            f"  solver iterations    : {self.solver_iterations}",
+        ]
+        if self.constraint_violations:
+            eq = self.constraint_violations.get("equality", 0.0)
+            ineq = self.constraint_violations.get("inequality", 0.0)
+            lines.append(f"  constraint violation : eq {eq:.3g}, ineq {ineq:.3g}")
+        return "\n".join(lines)

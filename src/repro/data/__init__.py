@@ -1,0 +1,40 @@
+"""Data layer: containers, noise models, synthetic genes and reference datasets."""
+
+from repro.data.timeseries import ExpressionTimeSeries, PhaseProfile
+from repro.data.noise import (
+    NoiseModel,
+    GaussianAdditiveNoise,
+    GaussianProportionalNoise,
+    GaussianMagnitudeNoise,
+    LogNormalNoise,
+    make_noise_model,
+)
+from repro.data.synthetic import (
+    constant_profile,
+    linear_profile,
+    single_pulse_profile,
+    double_pulse_profile,
+    ftsz_like_profile,
+)
+from repro.data.judd2003 import judd_reference_distribution, JUDD_TIMES_MINUTES
+from repro.data.mcgrath2007 import FtsZDataset, ftsz_population_dataset
+
+__all__ = [
+    "ExpressionTimeSeries",
+    "PhaseProfile",
+    "NoiseModel",
+    "GaussianAdditiveNoise",
+    "GaussianProportionalNoise",
+    "GaussianMagnitudeNoise",
+    "LogNormalNoise",
+    "make_noise_model",
+    "constant_profile",
+    "linear_profile",
+    "single_pulse_profile",
+    "double_pulse_profile",
+    "ftsz_like_profile",
+    "judd_reference_distribution",
+    "JUDD_TIMES_MINUTES",
+    "FtsZDataset",
+    "ftsz_population_dataset",
+]

@@ -1,0 +1,92 @@
+"""CSV persistence for expression time series and phase profiles.
+
+Microarray-style time courses and deconvolved profiles are small tabular
+objects; plain CSV keeps them interoperable with spreadsheets and R without
+adding dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.timeseries import ExpressionTimeSeries, PhaseProfile
+
+
+def save_timeseries_csv(series: ExpressionTimeSeries, path: str | Path) -> Path:
+    """Write an expression time series to ``path`` as CSV.
+
+    Columns: ``time_minutes``, ``value`` and (when present) ``sigma``.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["time_minutes", "value"]
+        if series.sigma is not None:
+            header.append("sigma")
+        writer.writerow(header)
+        for index in range(series.num_measurements):
+            row = [f"{series.times[index]:.10g}", f"{series.values[index]:.10g}"]
+            if series.sigma is not None:
+                row.append(f"{series.sigma[index]:.10g}")
+            writer.writerow(row)
+    return path
+
+
+def load_timeseries_csv(path: str | Path, *, name: str | None = None) -> ExpressionTimeSeries:
+    """Read an expression time series written by :func:`save_timeseries_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header[:2] != ["time_minutes", "value"]:
+            raise ValueError(f"{path} does not look like a repro time-series CSV")
+        has_sigma = len(header) > 2 and header[2] == "sigma"
+        times, values, sigmas = [], [], []
+        for row in reader:
+            if not row:
+                continue
+            times.append(float(row[0]))
+            values.append(float(row[1]))
+            if has_sigma:
+                sigmas.append(float(row[2]))
+    return ExpressionTimeSeries(
+        times=np.asarray(times),
+        values=np.asarray(values),
+        sigma=np.asarray(sigmas) if has_sigma else None,
+        name=name if name is not None else path.stem,
+    )
+
+
+def save_profile_csv(profile: PhaseProfile, path: str | Path) -> Path:
+    """Write a phase profile to ``path`` as CSV with columns ``phase``, ``value``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["phase", "value"])
+        for phase, value in zip(profile.phases, profile.values):
+            writer.writerow([f"{phase:.10g}", f"{value:.10g}"])
+    return path
+
+
+def load_profile_csv(path: str | Path, *, name: str | None = None) -> PhaseProfile:
+    """Read a phase profile written by :func:`save_profile_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != ["phase", "value"]:
+            raise ValueError(f"{path} does not look like a repro phase-profile CSV")
+        phases, values = [], []
+        for row in reader:
+            if not row:
+                continue
+            phases.append(float(row[0]))
+            values.append(float(row[1]))
+    return PhaseProfile(
+        phases=np.asarray(phases),
+        values=np.asarray(values),
+        name=name if name is not None else path.stem,
+    )

@@ -1,0 +1,123 @@
+"""Synthetic single-cell phase profiles.
+
+These analytic profiles serve two purposes: simple shapes (constant, linear,
+pulses) are used throughout the test suite because their forward transforms
+have easily checkable properties, and :func:`ftsz_like_profile` is the
+biologically motivated stand-in used to regenerate the Figure 5 experiment
+(see the substitution note in ``DESIGN.md``): *ftsZ* transcription is delayed
+until the swarmer-to-stalked transition, peaks mid-cycle and declines with no
+subsequent increase (Kelly et al. 1998).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.timeseries import PhaseProfile
+from repro.utils.validation import check_in_range, check_positive
+
+
+def constant_profile(level: float = 1.0, *, num_points: int = 401, name: str = "constant") -> PhaseProfile:
+    """A phase-independent profile ``f(phi) = level``."""
+    check_positive(level, "level", strict=False)
+    phases = np.linspace(0.0, 1.0, int(num_points))
+    return PhaseProfile(phases, np.full(phases.size, float(level)), name)
+
+
+def linear_profile(
+    start: float = 0.0,
+    end: float = 1.0,
+    *,
+    num_points: int = 401,
+    name: str = "linear",
+) -> PhaseProfile:
+    """A linearly increasing (or decreasing) profile from ``start`` to ``end``."""
+    phases = np.linspace(0.0, 1.0, int(num_points))
+    values = float(start) + (float(end) - float(start)) * phases
+    return PhaseProfile(phases, values, name)
+
+
+def single_pulse_profile(
+    center: float = 0.5,
+    width: float = 0.12,
+    amplitude: float = 1.0,
+    baseline: float = 0.05,
+    *,
+    num_points: int = 401,
+    name: str = "pulse",
+) -> PhaseProfile:
+    """A Gaussian pulse of expression centred at ``center``."""
+    check_in_range(center, "center", 0.0, 1.0)
+    check_positive(width, "width")
+    check_positive(amplitude, "amplitude")
+    check_positive(baseline, "baseline", strict=False)
+    phases = np.linspace(0.0, 1.0, int(num_points))
+    values = baseline + amplitude * np.exp(-0.5 * ((phases - center) / width) ** 2)
+    return PhaseProfile(phases, values, name)
+
+
+def double_pulse_profile(
+    centers: tuple[float, float] = (0.3, 0.75),
+    widths: tuple[float, float] = (0.08, 0.08),
+    amplitudes: tuple[float, float] = (1.0, 0.6),
+    baseline: float = 0.05,
+    *,
+    num_points: int = 401,
+    name: str = "double_pulse",
+) -> PhaseProfile:
+    """Two Gaussian pulses of expression — a harder deconvolution target."""
+    phases = np.linspace(0.0, 1.0, int(num_points))
+    values = np.full(phases.size, float(baseline))
+    for center, width, amplitude in zip(centers, widths, amplitudes):
+        check_in_range(center, "center", 0.0, 1.0)
+        check_positive(width, "width")
+        check_positive(amplitude, "amplitude")
+        values += amplitude * np.exp(-0.5 * ((phases - center) / width) ** 2)
+    return PhaseProfile(phases, values, name)
+
+
+def ftsz_like_profile(
+    onset: float = 0.15,
+    peak: float = 0.4,
+    amplitude: float = 10.0,
+    sharpness: float = 2.0,
+    baseline: float = 0.1,
+    *,
+    num_points: int = 401,
+    name: str = "ftsZ",
+) -> PhaseProfile:
+    """A *ftsZ*-like profile: zero before ``onset``, peaking at ``peak``, then declining.
+
+    The post-onset shape is a gamma-like bump
+    ``amplitude * (s * exp(1 - s))**sharpness`` with
+    ``s = (phi - onset) / (peak - onset)``, which rises smoothly from zero at
+    the onset, attains its maximum exactly at ``peak`` and decays
+    monotonically afterwards with no subsequent increase — the two features
+    the paper's Figure 5 highlights in the deconvolved data.
+
+    Parameters
+    ----------
+    onset:
+        Phase at which transcription begins (the SW-to-ST transition, 0.15).
+    peak:
+        Phase of maximal expression (about 0.4 in the paper).
+    amplitude:
+        Peak expression level above the baseline.
+    sharpness:
+        Exponent controlling how peaked the bump is.
+    baseline:
+        Small basal expression level present at all phases.
+    """
+    check_in_range(onset, "onset", 0.0, 1.0)
+    check_in_range(peak, "peak", 0.0, 1.0)
+    if not peak > onset:
+        raise ValueError("peak must lie after onset")
+    check_positive(amplitude, "amplitude")
+    check_positive(sharpness, "sharpness")
+    check_positive(baseline, "baseline", strict=False)
+
+    phases = np.linspace(0.0, 1.0, int(num_points))
+    scaled = np.clip((phases - onset) / (peak - onset), 0.0, None)
+    bump = np.where(scaled > 0, (scaled * np.exp(1.0 - scaled)) ** sharpness, 0.0)
+    values = baseline + amplitude * bump
+    return PhaseProfile(phases, values, name)

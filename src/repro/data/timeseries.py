@@ -1,0 +1,142 @@
+"""Containers for expression time series and phase profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.numerics.quadrature import trapezoid_weights
+from repro.utils.validation import check_sorted, ensure_1d
+
+
+@dataclass
+class PhaseProfile:
+    """A synchronous (single-cell-like) expression profile ``f(phi)``.
+
+    The profile is stored as samples on a phase grid and evaluated elsewhere
+    by linear interpolation, which keeps forward-model evaluations exact on
+    the kernel's bin centres once the grid is fine enough.
+
+    Attributes
+    ----------
+    phases:
+        Strictly increasing phase samples covering ``[0, 1]``.
+    values:
+        Expression values at the phase samples.
+    name:
+        Species / gene name.
+    """
+
+    phases: np.ndarray
+    values: np.ndarray
+    name: str = "profile"
+
+    def __post_init__(self) -> None:
+        self.phases = check_sorted(self.phases, "phases")
+        self.values = ensure_1d(self.values, "values")
+        if self.phases.size != self.values.size:
+            raise ValueError("phases and values must have the same length")
+        if self.phases[0] < -1e-9 or self.phases[-1] > 1.0 + 1e-9:
+            raise ValueError("phases must lie inside [0, 1]")
+
+    def __call__(self, phases: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the profile at arbitrary phases by linear interpolation."""
+        scalar = np.ndim(phases) == 0
+        query = np.atleast_1d(np.asarray(phases, dtype=float))
+        values = np.interp(query, self.phases, self.values)
+        return float(values[0]) if scalar else values
+
+    @classmethod
+    def from_callable(
+        cls,
+        func: Callable[[np.ndarray], np.ndarray],
+        *,
+        num_points: int = 401,
+        name: str = "profile",
+    ) -> "PhaseProfile":
+        """Sample a callable ``f(phi)`` on a uniform grid."""
+        phases = np.linspace(0.0, 1.0, int(num_points))
+        return cls(phases=phases, values=np.asarray(func(phases), dtype=float), name=name)
+
+    def mean(self) -> float:
+        """Phase-averaged expression ``\\int f(phi) dphi``."""
+        return float(trapezoid_weights(self.phases) @ self.values)
+
+    def peak_phase(self) -> float:
+        """Phase of the maximum expression."""
+        return float(self.phases[int(np.argmax(self.values))])
+
+    def rescale(self, factor: float) -> "PhaseProfile":
+        """Profile multiplied by a constant factor."""
+        return PhaseProfile(self.phases.copy(), self.values * float(factor), self.name)
+
+    def to_time(self, cycle_time: float) -> tuple[np.ndarray, np.ndarray]:
+        """Profile against time for one cycle of length ``cycle_time`` minutes."""
+        return self.phases * float(cycle_time), self.values.copy()
+
+
+@dataclass
+class ExpressionTimeSeries:
+    """A population-level expression time series ``G(t_m)``.
+
+    Attributes
+    ----------
+    times:
+        Measurement times in minutes (strictly increasing).
+    values:
+        Measured population expression.
+    sigma:
+        Optional per-measurement standard deviations.
+    name:
+        Species / gene name.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    sigma: Optional[np.ndarray] = None
+    name: str = "series"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = check_sorted(self.times, "times")
+        self.values = ensure_1d(self.values, "values")
+        if self.times.size != self.values.size:
+            raise ValueError("times and values must have the same length")
+        if self.sigma is not None:
+            self.sigma = ensure_1d(self.sigma, "sigma")
+            if self.sigma.size != self.times.size:
+                raise ValueError("sigma must match the number of measurements")
+            if np.any(self.sigma <= 0):
+                raise ValueError("sigma must be strictly positive")
+
+    @property
+    def num_measurements(self) -> int:
+        """Number of time points."""
+        return int(self.times.size)
+
+    def with_values(self, values: np.ndarray, *, name: str | None = None) -> "ExpressionTimeSeries":
+        """Copy of the series with different values (e.g. after adding noise)."""
+        return ExpressionTimeSeries(
+            times=self.times.copy(),
+            values=ensure_1d(values, "values").copy(),
+            sigma=None if self.sigma is None else self.sigma.copy(),
+            name=self.name if name is None else name,
+            metadata=dict(self.metadata),
+        )
+
+    def subsample(self, indices: np.ndarray) -> "ExpressionTimeSeries":
+        """Series restricted to a subset of time points."""
+        indices = np.asarray(indices, dtype=int)
+        return ExpressionTimeSeries(
+            times=self.times[indices],
+            values=self.values[indices],
+            sigma=None if self.sigma is None else self.sigma[indices],
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def magnitude(self) -> float:
+        """Characteristic magnitude of the series (maximum absolute value)."""
+        return float(np.max(np.abs(self.values)))

@@ -1,0 +1,88 @@
+"""Base class for single-cell ODE models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.numerics.integrate import ODESolution, integrate_rk4, integrate_rk45
+from repro.utils.validation import check_positive
+
+
+class ODEModel(abc.ABC):
+    """A deterministic single-cell gene-expression model ``dy/dt = rhs(t, y)``.
+
+    Subclasses define the right-hand side, species names and a default initial
+    state; this base class provides simulation helpers shared by all models.
+    """
+
+    #: Human-readable species names, one per state component.
+    species_names: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def rhs(self, t: float, state: np.ndarray) -> np.ndarray:
+        """Time derivative of the state."""
+
+    @abc.abstractmethod
+    def default_initial_state(self) -> np.ndarray:
+        """Default initial condition used by the simulation helpers."""
+
+    @property
+    def num_species(self) -> int:
+        """Number of state components."""
+        return len(self.species_names)
+
+    def simulate(
+        self,
+        t_end: float,
+        *,
+        num_points: int = 601,
+        initial_state: Sequence[float] | np.ndarray | None = None,
+        t_start: float = 0.0,
+        method: str = "rk4",
+    ) -> ODESolution:
+        """Integrate the model over ``[t_start, t_end]``.
+
+        Parameters
+        ----------
+        t_end:
+            Final time.
+        num_points:
+            Number of output samples (uniformly spaced).
+        initial_state:
+            Starting state; defaults to :meth:`default_initial_state`.
+        t_start:
+            Initial time.
+        method:
+            ``"rk4"`` (fixed step on the output grid refined internally) or
+            ``"rk45"`` (adaptive with dense output).
+        """
+        check_positive(t_end - t_start, "t_end - t_start")
+        state0 = (
+            np.asarray(initial_state, dtype=float)
+            if initial_state is not None
+            else self.default_initial_state()
+        )
+        times = np.linspace(float(t_start), float(t_end), int(num_points))
+        if method == "rk4":
+            # Refine the integration grid to keep the fixed-step error small
+            # regardless of the requested output resolution.
+            refine = 4
+            fine_times = np.linspace(float(t_start), float(t_end), refine * (int(num_points) - 1) + 1)
+            solution = integrate_rk4(self.rhs, state0, fine_times)
+            states = solution.interpolate(times)
+            return ODESolution(times=times, states=states, num_steps=solution.num_steps)
+        if method == "rk45":
+            return integrate_rk45(self.rhs, state0, (float(t_start), float(t_end)), dense_times=times)
+        raise ValueError(f"unknown integration method {method!r}")
+
+    def species_index(self, name: str) -> int:
+        """Index of a species by name."""
+        try:
+            return self.species_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown species {name!r}; available: {list(self.species_names)}"
+            ) from None

@@ -1,0 +1,84 @@
+"""Extraction of phase profiles ``f(phi)`` from limit-cycle trajectories.
+
+To generate the "true synchronized single cell" curves of the Figure 2/3
+experiments, the oscillator is integrated for a number of transient cycles,
+then one full period is sampled and re-parameterised by cell-cycle phase
+``phi = t / T``.  The resulting :class:`~repro.data.timeseries.PhaseProfile`
+objects are what the forward kernel convolves into population data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.timeseries import PhaseProfile
+from repro.dynamics.base import ODEModel
+from repro.utils.validation import check_positive
+
+__all__ = ["PhaseProfile", "extract_phase_profiles"]
+
+
+def extract_phase_profiles(
+    model: ODEModel,
+    period: float,
+    *,
+    num_points: int = 401,
+    transient_periods: int = 0,
+    initial_state: np.ndarray | None = None,
+    align_to_minimum: bool = False,
+    species: tuple[str, ...] | None = None,
+) -> dict[str, PhaseProfile]:
+    """Sample each species of ``model`` over one period as a phase profile.
+
+    Parameters
+    ----------
+    model:
+        The oscillator.
+    period:
+        Oscillation period in minutes (the cell-cycle time the profile is
+        synchronised to).
+    num_points:
+        Number of phase samples on ``[0, 1]``.
+    transient_periods:
+        Number of full periods integrated and discarded before sampling, so
+        the trajectory settles onto its (quasi-)limit cycle.
+    initial_state:
+        Starting state; defaults to the model default.
+    align_to_minimum:
+        If ``True``, rotate the sampled cycle so phase zero coincides with the
+        minimum of the first species (a common convention when the absolute
+        phase origin is arbitrary).
+    species:
+        Optional subset of species names to return.
+    """
+    check_positive(period, "period")
+    num_points = int(num_points)
+    if num_points < 3:
+        raise ValueError("num_points must be >= 3")
+    transient_periods = int(transient_periods)
+    if transient_periods < 0:
+        raise ValueError("transient_periods must be non-negative")
+
+    total_time = period * (transient_periods + 1)
+    samples_per_period = num_points - 1
+    total_points = samples_per_period * (transient_periods + 1) + 1
+    solution = model.simulate(
+        total_time, num_points=total_points, initial_state=initial_state, method="rk4"
+    )
+    start = samples_per_period * transient_periods
+    cycle_states = solution.states[start : start + num_points]
+    phases = np.linspace(0.0, 1.0, num_points)
+
+    if align_to_minimum:
+        shift = int(np.argmin(cycle_states[:-1, 0]))
+        body = np.roll(cycle_states[:-1], -shift, axis=0)
+        cycle_states = np.vstack([body, body[:1]])
+
+    requested = species if species is not None else model.species_names
+    profiles: dict[str, PhaseProfile] = {}
+    for name in requested:
+        index = model.species_index(name)
+        profiles[name] = PhaseProfile(
+            phases=phases.copy(), values=cycle_states[:, index].copy(), name=name
+        )
+    return profiles

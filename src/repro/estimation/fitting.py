@@ -1,0 +1,111 @@
+"""Nelder-Mead driver for ODE parameter fitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.numerics.nelder_mead import minimize_nelder_mead
+from repro.utils.validation import ensure_1d
+
+
+@dataclass
+class FitResult:
+    """Outcome of a parameter fit.
+
+    Attributes
+    ----------
+    parameters:
+        Fitted parameter vector (in the original, non-log scale).
+    objective_value:
+        Final objective value.
+    converged:
+        Whether the optimiser met its tolerances.
+    iterations, function_evaluations:
+        Optimiser effort.
+    relative_errors:
+        Per-parameter relative errors against a known truth (empty when no
+        truth was supplied).
+    """
+
+    parameters: np.ndarray
+    objective_value: float
+    converged: bool
+    iterations: int
+    function_evaluations: int
+    relative_errors: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    @property
+    def mean_relative_error(self) -> float:
+        """Mean of the per-parameter relative errors (``nan`` if unknown)."""
+        if self.relative_errors.size == 0:
+            return float("nan")
+        return float(np.mean(self.relative_errors))
+
+
+def fit_parameters(
+    objective: Callable[[np.ndarray], float],
+    initial_guess: np.ndarray,
+    *,
+    log_space: bool = True,
+    true_parameters: np.ndarray | None = None,
+    initial_step: float = 0.25,
+    max_iterations: int = 2000,
+) -> FitResult:
+    """Minimise ``objective`` over a parameter vector with Nelder-Mead.
+
+    Parameters
+    ----------
+    objective:
+        Callable returning the misfit for a parameter vector.
+    initial_guess:
+        Starting parameter vector (strictly positive when ``log_space``).
+    log_space:
+        Optimise over ``log(parameters)`` so rates stay positive; recommended
+        for kinetic models.
+    true_parameters:
+        Optional ground truth used to report per-parameter relative errors.
+    initial_step:
+        Initial simplex displacement (in log units when ``log_space``).
+    max_iterations:
+        Nelder-Mead iteration cap.
+    """
+    initial_guess = ensure_1d(initial_guess, "initial_guess")
+    if log_space:
+        if np.any(initial_guess <= 0):
+            raise ValueError("log-space fitting requires a strictly positive initial guess")
+
+        def wrapped(log_params: np.ndarray) -> float:
+            return float(objective(np.exp(log_params)))
+
+        start = np.log(initial_guess)
+    else:
+        def wrapped(params: np.ndarray) -> float:
+            return float(objective(params))
+
+        start = initial_guess
+
+    result = minimize_nelder_mead(
+        wrapped, start, initial_step=initial_step, max_iterations=max_iterations
+    )
+    fitted = np.exp(result.x) if log_space else result.x
+
+    relative_errors = np.array([])
+    if true_parameters is not None:
+        true_parameters = ensure_1d(true_parameters, "true_parameters")
+        if true_parameters.size != fitted.size:
+            raise ValueError("true_parameters must match the fitted vector length")
+        if np.any(true_parameters == 0):
+            raise ValueError("relative errors are undefined for zero true parameters")
+        relative_errors = np.abs(fitted - true_parameters) / np.abs(true_parameters)
+
+    return FitResult(
+        parameters=fitted,
+        objective_value=result.fun,
+        converged=result.converged,
+        iterations=result.iterations,
+        function_evaluations=result.function_evaluations,
+        relative_errors=relative_errors,
+    )

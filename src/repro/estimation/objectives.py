@@ -1,0 +1,116 @@
+"""Objective functions for fitting ODE-model parameters to expression data."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dynamics.base import ODEModel
+from repro.utils.validation import check_sorted, ensure_1d, ensure_2d
+
+#: A factory mapping a parameter vector to a concrete ODE model instance.
+ModelFactory = Callable[[np.ndarray], ODEModel]
+
+
+def model_time_series(
+    model: ODEModel,
+    times: np.ndarray,
+    species: Sequence[str] | None = None,
+    *,
+    num_points_per_unit: float = 2.0,
+    initial_state: np.ndarray | None = None,
+) -> np.ndarray:
+    """Simulate ``model`` and sample selected species at ``times``.
+
+    Parameters
+    ----------
+    model:
+        The single-cell model.
+    times:
+        Output times (minutes), starting at or after zero.
+    species:
+        Species names to extract; defaults to all species.
+    num_points_per_unit:
+        Integration resolution (output samples per minute).
+    initial_state:
+        Starting state; defaults to the model default.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(len(times), len(species))``.
+    """
+    times = check_sorted(times, "times", strict=False)
+    if times[0] < 0:
+        raise ValueError("times must be non-negative")
+    horizon = float(times[-1]) if times[-1] > 0 else 1.0
+    num_points = max(int(num_points_per_unit * horizon) + 1, 51)
+    solution = model.simulate(horizon, num_points=num_points, initial_state=initial_state)
+    sampled = solution.interpolate(times)
+    names = species if species is not None else model.species_names
+    indices = [model.species_index(name) for name in names]
+    return sampled[:, indices]
+
+
+class TimeSeriesObjective:
+    """Weighted sum-of-squares misfit between a model and target time series.
+
+    Parameters
+    ----------
+    factory:
+        Maps a parameter vector to an :class:`~repro.dynamics.base.ODEModel`.
+    times:
+        Target measurement times in minutes.
+    targets:
+        Target values, shape ``(len(times), num_species)``.
+    species:
+        Names of the species the target columns correspond to.
+    weights:
+        Optional per-species weights; defaults to ``1 / max|target|`` per
+        column so differently scaled species contribute comparably.
+    penalty:
+        Value returned when the model cannot be built or simulated for a
+        candidate parameter vector (keeps the optimiser away from bad regions).
+    """
+
+    def __init__(
+        self,
+        factory: ModelFactory,
+        times: np.ndarray,
+        targets: np.ndarray,
+        species: Sequence[str],
+        *,
+        weights: np.ndarray | None = None,
+        penalty: float = 1e12,
+    ) -> None:
+        self.factory = factory
+        self.times = check_sorted(times, "times", strict=False)
+        self.targets = ensure_2d(targets, "targets")
+        if self.targets.shape[0] != self.times.size:
+            raise ValueError("targets must have one row per time point")
+        self.species = tuple(species)
+        if len(self.species) != self.targets.shape[1]:
+            raise ValueError("species must name every target column")
+        if weights is None:
+            scales = np.max(np.abs(self.targets), axis=0)
+            scales[scales == 0] = 1.0
+            weights = 1.0 / scales
+        self.weights = ensure_1d(weights, "weights")
+        if self.weights.size != len(self.species):
+            raise ValueError("weights must have one entry per species")
+        self.penalty = float(penalty)
+        self.evaluations = 0
+
+    def __call__(self, parameters: np.ndarray) -> float:
+        """Misfit of the model built from ``parameters``."""
+        self.evaluations += 1
+        try:
+            model = self.factory(np.asarray(parameters, dtype=float))
+            simulated = model_time_series(model, self.times, self.species)
+        except (ValueError, FloatingPointError, OverflowError, RuntimeError):
+            return self.penalty
+        if not np.all(np.isfinite(simulated)):
+            return self.penalty
+        residual = (simulated - self.targets) * self.weights[None, :]
+        return float(np.sum(residual**2))

@@ -1,0 +1,42 @@
+"""Experiment drivers reproducing the paper's figures and ablation studies.
+
+Each module exposes a ``run_*`` function returning a plain dataclass with the
+series the corresponding figure plots plus quantitative metrics; the
+``benchmarks/`` harnesses and the ``examples/`` scripts are thin wrappers
+around these drivers.
+"""
+
+from repro.experiments.figure2 import OscillatorExperimentResult, run_oscillator_experiment
+from repro.experiments.figure3 import NoisyOscillatorSummary, run_noisy_oscillator_experiment
+from repro.experiments.figure4 import CellTypeExperimentResult, run_celltype_experiment
+from repro.experiments.figure5 import FtsZExperimentResult, run_ftsz_experiment
+from repro.experiments.parameter_estimation import (
+    ParameterEstimationResult,
+    run_parameter_estimation_experiment,
+)
+from repro.experiments.ablations import (
+    run_volume_model_ablation,
+    run_constraint_ablation,
+    run_lambda_ablation,
+    run_kernel_convergence_study,
+)
+from repro.experiments.reporting import format_table, format_series
+
+__all__ = [
+    "OscillatorExperimentResult",
+    "run_oscillator_experiment",
+    "NoisyOscillatorSummary",
+    "run_noisy_oscillator_experiment",
+    "CellTypeExperimentResult",
+    "run_celltype_experiment",
+    "FtsZExperimentResult",
+    "run_ftsz_experiment",
+    "ParameterEstimationResult",
+    "run_parameter_estimation_experiment",
+    "run_volume_model_ablation",
+    "run_constraint_ablation",
+    "run_lambda_ablation",
+    "run_kernel_convergence_study",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,101 @@
+"""Figure 4 experiment: simulated vs reference cell-type distribution.
+
+Simulates the time-dependent distribution of swarmer, early-stalked and
+predivisional cells in a synchronised batch culture (75-150 minutes) and
+compares it against the reference distribution encoded from Judd et al. 2003
+(see the substitution note in ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellcycle.celltypes import CellType, CellTypeDistribution, simulate_type_distribution
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.data.judd2003 import judd_reference_distribution
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class CellTypeExperimentResult:
+    """Simulated and reference cell-type distributions plus agreement metrics.
+
+    Attributes
+    ----------
+    simulated:
+        Simulated distribution (with the boundary-range band).
+    reference:
+        Reference distribution (approximate Judd et al. shape).
+    per_type_max_error:
+        Maximum absolute fraction difference per cell type.
+    per_type_mean_error:
+        Mean absolute fraction difference per cell type.
+    mean_error:
+        Mean absolute difference across all types and times.
+    within_band_fraction:
+        Fraction of reference points falling inside the simulated band
+        (widened by ``band_slack``).
+    """
+
+    simulated: CellTypeDistribution
+    reference: CellTypeDistribution
+    per_type_max_error: dict[CellType, float]
+    per_type_mean_error: dict[CellType, float]
+    mean_error: float
+    within_band_fraction: float
+
+
+def run_celltype_experiment(
+    *,
+    num_cells: int = 30_000,
+    parameters: CellCycleParameters | None = None,
+    band_slack: float = 0.08,
+    rng: SeedLike = 11,
+) -> CellTypeExperimentResult:
+    """Run the Figure 4 cell-type distribution experiment.
+
+    Parameters
+    ----------
+    num_cells:
+        Founder cells of the Monte-Carlo simulation.
+    parameters:
+        Cell-cycle parameters; defaults to the paper's values.
+    band_slack:
+        Absolute widening applied to the simulated band when counting
+        reference points "inside" it, accounting for experimental counting
+        error.
+    rng:
+        Seed of the population simulation.
+    """
+    parameters = parameters if parameters is not None else CellCycleParameters()
+    reference = judd_reference_distribution()
+    simulated = simulate_type_distribution(
+        reference.times, parameters, num_cells=num_cells, include_band=True, rng=rng
+    )
+
+    per_type_max: dict[CellType, float] = {}
+    per_type_mean: dict[CellType, float] = {}
+    all_errors = []
+    inside = 0
+    total = 0
+    for cell_type in CellType.ordered():
+        diff = np.abs(simulated.fractions[cell_type] - reference.fractions[cell_type])
+        per_type_max[cell_type] = float(np.max(diff))
+        per_type_mean[cell_type] = float(np.mean(diff))
+        all_errors.append(diff)
+        low = simulated.lower[cell_type] - band_slack
+        high = simulated.upper[cell_type] + band_slack
+        ref = reference.fractions[cell_type]
+        inside += int(np.count_nonzero((ref >= low) & (ref <= high)))
+        total += ref.size
+
+    return CellTypeExperimentResult(
+        simulated=simulated,
+        reference=reference,
+        per_type_max_error=per_type_max,
+        per_type_mean_error=per_type_mean,
+        mean_error=float(np.mean(np.concatenate(all_errors))),
+        within_band_fraction=float(inside) / float(total),
+    )

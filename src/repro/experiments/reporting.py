@@ -1,0 +1,62 @@
+"""Plain-text reporting helpers for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, precision: int = 4) -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Numeric cells are formatted with the given precision; everything else is
+    converted with ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, (float, np.floating)):
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [format_row(headers), format_row(["-" * w for w in widths])]
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    x_values: np.ndarray,
+    y_values: np.ndarray,
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 25,
+    precision: int = 4,
+) -> str:
+    """Render an (x, y) series as a compact two-column listing.
+
+    Long series are subsampled to ``max_points`` evenly spaced entries so the
+    output stays readable in benchmark logs.
+    """
+    x_values = np.asarray(x_values, dtype=float)
+    y_values = np.asarray(y_values, dtype=float)
+    if x_values.size != y_values.size:
+        raise ValueError("x and y must have the same length")
+    if x_values.size > max_points:
+        indices = np.linspace(0, x_values.size - 1, max_points).astype(int)
+        x_values = x_values[indices]
+        y_values = y_values[indices]
+    rows = [(f"{x:.{precision}g}", f"{y:.{precision}g}") for x, y in zip(x_values, y_values)]
+    return f"{name}\n" + format_table([x_label, y_label], rows, precision=precision)

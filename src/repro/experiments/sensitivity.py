@@ -1,0 +1,181 @@
+"""Sensitivity of the deconvolution to the asynchrony-model parameters.
+
+One of the paper's three updates (Sec. 2.1) is moving the mean
+swarmer-to-stalked transition phase from 0.25 to 0.15 in the light of new
+experimental evidence.  This study quantifies why that matters: population
+data are generated with the *true* asynchrony model and then deconvolved with
+kernels built under different assumed ``mu_sst`` values (and, separately,
+different assumed mean cycle times), reporting the recovery error as a
+function of the model mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import nrmse
+from repro.cellcycle.kernel import KernelBuilder
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.core.deconvolver import Deconvolver
+from repro.data.noise import GaussianMagnitudeNoise
+from repro.data.synthetic import ftsz_like_profile
+from repro.data.timeseries import PhaseProfile
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class SensitivityResult:
+    """Recovery error as a function of an assumed asynchrony parameter.
+
+    Attributes
+    ----------
+    parameter_name:
+        Name of the varied parameter (``"mu_sst"`` or ``"mean_cycle_time"``).
+    true_value:
+        The value used to generate the population data.
+    assumed_values:
+        The values assumed when building the inversion kernel.
+    errors:
+        Deconvolution NRMSE for each assumed value.
+    """
+
+    parameter_name: str
+    true_value: float
+    assumed_values: np.ndarray
+    errors: np.ndarray
+
+    def best_assumed_value(self) -> float:
+        """Assumed value with the smallest recovery error."""
+        return float(self.assumed_values[int(np.argmin(self.errors))])
+
+    def error_at_truth(self) -> float:
+        """Error of the assumed value closest to the truth."""
+        index = int(np.argmin(np.abs(self.assumed_values - self.true_value)))
+        return float(self.errors[index])
+
+
+def run_mu_sst_sensitivity(
+    *,
+    assumed_values: np.ndarray | None = None,
+    truth: PhaseProfile | None = None,
+    noise_fraction: float = 0.05,
+    num_times: int = 16,
+    t_end: float = 150.0,
+    num_cells: int = 6000,
+    phase_bins: int = 80,
+    num_basis: int = 14,
+    lam: float = 1e-3,
+    true_parameters: CellCycleParameters | None = None,
+    rng: SeedLike = 17,
+) -> SensitivityResult:
+    """Deconvolution error when the assumed SW-to-ST transition phase is wrong.
+
+    The paper's original value (0.25) and updated value (0.15) are both in the
+    default sweep, so the study directly quantifies the benefit of the Sec. 2.1
+    update.
+    """
+    if assumed_values is None:
+        assumed_values = np.array([0.10, 0.15, 0.20, 0.25, 0.30])
+    assumed_values = np.asarray(assumed_values, dtype=float)
+    true_parameters = true_parameters if true_parameters is not None else CellCycleParameters()
+    generator = as_generator(rng)
+    if truth is None:
+        truth = ftsz_like_profile(onset=true_parameters.mu_sst, peak=0.4, amplitude=10.0, baseline=0.1)
+
+    times = np.linspace(0.0, t_end, num_times)
+    true_kernel = KernelBuilder(
+        true_parameters, num_cells=num_cells, phase_bins=phase_bins
+    ).build(times, generator)
+    clean = true_kernel.apply_function(truth)
+    if noise_fraction > 0:
+        noise = GaussianMagnitudeNoise(noise_fraction)
+        values = noise.apply(clean, generator)
+        sigma = noise.standard_deviations(clean)
+    else:
+        values, sigma = clean, None
+
+    phases = np.linspace(0.0, 1.0, 201)
+    errors = np.empty(assumed_values.size)
+    for index, assumed in enumerate(assumed_values):
+        assumed_parameters = CellCycleParameters(
+            mu_sst=float(assumed),
+            cv_sst=true_parameters.cv_sst,
+            mean_cycle_time=true_parameters.mean_cycle_time,
+            cv_cycle_time=true_parameters.cv_cycle_time,
+        )
+        assumed_kernel = KernelBuilder(
+            assumed_parameters, num_cells=num_cells, phase_bins=phase_bins
+        ).build(times, generator)
+        deconvolver = Deconvolver(
+            assumed_kernel, parameters=assumed_parameters, num_basis=num_basis
+        )
+        result = deconvolver.fit(times, values, sigma=sigma, lam=lam)
+        errors[index] = nrmse(result.profile(phases), truth(phases))
+    return SensitivityResult(
+        parameter_name="mu_sst",
+        true_value=true_parameters.mu_sst,
+        assumed_values=assumed_values,
+        errors=errors,
+    )
+
+
+def run_cycle_time_sensitivity(
+    *,
+    assumed_values: np.ndarray | None = None,
+    truth: PhaseProfile | None = None,
+    noise_fraction: float = 0.05,
+    num_times: int = 16,
+    t_end: float = 150.0,
+    num_cells: int = 6000,
+    phase_bins: int = 80,
+    num_basis: int = 14,
+    lam: float = 1e-3,
+    true_parameters: CellCycleParameters | None = None,
+    rng: SeedLike = 19,
+) -> SensitivityResult:
+    """Deconvolution error when the assumed mean cycle time is wrong."""
+    if assumed_values is None:
+        assumed_values = np.array([120.0, 135.0, 150.0, 165.0, 180.0])
+    assumed_values = np.asarray(assumed_values, dtype=float)
+    true_parameters = true_parameters if true_parameters is not None else CellCycleParameters()
+    generator = as_generator(rng)
+    if truth is None:
+        truth = ftsz_like_profile(onset=true_parameters.mu_sst, peak=0.4, amplitude=10.0, baseline=0.1)
+
+    times = np.linspace(0.0, t_end, num_times)
+    true_kernel = KernelBuilder(
+        true_parameters, num_cells=num_cells, phase_bins=phase_bins
+    ).build(times, generator)
+    clean = true_kernel.apply_function(truth)
+    if noise_fraction > 0:
+        noise = GaussianMagnitudeNoise(noise_fraction)
+        values = noise.apply(clean, generator)
+        sigma = noise.standard_deviations(clean)
+    else:
+        values, sigma = clean, None
+
+    phases = np.linspace(0.0, 1.0, 201)
+    errors = np.empty(assumed_values.size)
+    for index, assumed in enumerate(assumed_values):
+        assumed_parameters = CellCycleParameters(
+            mu_sst=true_parameters.mu_sst,
+            cv_sst=true_parameters.cv_sst,
+            mean_cycle_time=float(assumed),
+            cv_cycle_time=true_parameters.cv_cycle_time,
+        )
+        assumed_kernel = KernelBuilder(
+            assumed_parameters, num_cells=num_cells, phase_bins=phase_bins
+        ).build(times, generator)
+        deconvolver = Deconvolver(
+            assumed_kernel, parameters=assumed_parameters, num_basis=num_basis
+        )
+        result = deconvolver.fit(times, values, sigma=sigma, lam=lam)
+        errors[index] = nrmse(result.profile(phases), truth(phases))
+    return SensitivityResult(
+        parameter_name="mean_cycle_time",
+        true_value=true_parameters.mean_cycle_time,
+        assumed_values=assumed_values,
+        errors=errors,
+    )

@@ -1,0 +1,41 @@
+"""Numerical substrates used by the deconvolution pipeline.
+
+Everything the pipeline needs is implemented here from scratch — composite
+quadrature rules, tridiagonal solves, natural cubic splines, explicit
+Runge-Kutta ODE integrators, a dense active-set solver for convex quadratic
+programs and a Nelder-Mead simplex optimiser.  SciPy is only used in the test
+suite as an independent oracle.
+"""
+
+from repro.numerics.quadrature import (
+    trapezoid_weights,
+    simpson_weights,
+    gauss_legendre_nodes,
+    integrate_samples,
+    integrate_function,
+)
+from repro.numerics.tridiagonal import solve_tridiagonal
+from repro.numerics.interpolation import NaturalCubicSpline, LinearInterpolator
+from repro.numerics.integrate import ODESolution, integrate_rk4, integrate_rk45
+from repro.numerics.qp import QuadraticProgram, QPResult, solve_qp_active_set, solve_qp
+from repro.numerics.nelder_mead import NelderMeadResult, minimize_nelder_mead
+
+__all__ = [
+    "trapezoid_weights",
+    "simpson_weights",
+    "gauss_legendre_nodes",
+    "integrate_samples",
+    "integrate_function",
+    "solve_tridiagonal",
+    "NaturalCubicSpline",
+    "LinearInterpolator",
+    "ODESolution",
+    "integrate_rk4",
+    "integrate_rk45",
+    "QuadraticProgram",
+    "QPResult",
+    "solve_qp_active_set",
+    "solve_qp",
+    "NelderMeadResult",
+    "minimize_nelder_mead",
+]

@@ -1,0 +1,224 @@
+"""Explicit Runge-Kutta integrators for initial-value problems.
+
+Two integrators are provided: a fixed-step classical fourth-order Runge-Kutta
+scheme (used when solutions are needed on a prescribed uniform grid, e.g. the
+single-cell expression profile sampled on the phase grid) and an adaptive
+Dormand-Prince 5(4) scheme with dense output by cubic Hermite interpolation
+(used for period tuning, where the step size must adapt to the oscillation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_sorted
+
+RHSFunction = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class ODESolution:
+    """Numerical solution of an initial-value problem.
+
+    Attributes
+    ----------
+    times:
+        Sample times, shape ``(n,)``.
+    states:
+        State samples, shape ``(n, d)``.
+    num_steps:
+        Number of accepted integration steps taken.
+    num_rejected:
+        Number of rejected steps (adaptive integrator only).
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    num_steps: int
+    num_rejected: int = 0
+
+    def component(self, index: int) -> np.ndarray:
+        """Time series of a single state component."""
+        return self.states[:, index]
+
+    def interpolate(self, query_times: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Linear interpolation of the solution at arbitrary times."""
+        query = np.atleast_1d(np.asarray(query_times, dtype=float))
+        result = np.empty((query.size, self.states.shape[1]))
+        for j in range(self.states.shape[1]):
+            result[:, j] = np.interp(query, self.times, self.states[:, j])
+        return result
+
+
+def integrate_rk4(
+    rhs: RHSFunction,
+    y0: Sequence[float] | np.ndarray,
+    times: Sequence[float] | np.ndarray,
+) -> ODESolution:
+    """Integrate ``dy/dt = rhs(t, y)`` with classical RK4 on a fixed grid.
+
+    Parameters
+    ----------
+    rhs:
+        Right-hand side returning an array of the same shape as ``y``.
+    y0:
+        Initial state at ``times[0]``.
+    times:
+        Strictly increasing output times; each consecutive pair is covered by
+        exactly one RK4 step, so the grid must be fine enough for accuracy.
+    """
+    times = check_sorted(times, "times")
+    state = np.asarray(y0, dtype=float).copy()
+    if state.ndim != 1:
+        raise ValueError("y0 must be one-dimensional")
+    states = np.empty((times.size, state.size))
+    states[0] = state
+    for i in range(times.size - 1):
+        t = times[i]
+        h = times[i + 1] - t
+        k1 = np.asarray(rhs(t, state), dtype=float)
+        k2 = np.asarray(rhs(t + 0.5 * h, state + 0.5 * h * k1), dtype=float)
+        k3 = np.asarray(rhs(t + 0.5 * h, state + 0.5 * h * k2), dtype=float)
+        k4 = np.asarray(rhs(t + h, state + h * k3), dtype=float)
+        state = state + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        states[i + 1] = state
+    return ODESolution(times=times.copy(), states=states, num_steps=times.size - 1)
+
+
+# Dormand-Prince 5(4) Butcher tableau.
+_DP_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+_DP_A = [
+    np.array([]),
+    np.array([1 / 5]),
+    np.array([3 / 40, 9 / 40]),
+    np.array([44 / 45, -56 / 15, 32 / 9]),
+    np.array([19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729]),
+    np.array([9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656]),
+    np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84]),
+]
+_DP_B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0])
+_DP_B4 = np.array(
+    [5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
+)
+
+
+def integrate_rk45(
+    rhs: RHSFunction,
+    y0: Sequence[float] | np.ndarray,
+    t_span: tuple[float, float],
+    *,
+    rtol: float = 1e-7,
+    atol: float = 1e-9,
+    max_step: float | None = None,
+    first_step: float | None = None,
+    dense_times: Sequence[float] | np.ndarray | None = None,
+    max_steps: int = 1_000_000,
+) -> ODESolution:
+    """Adaptive Dormand-Prince 5(4) integration of ``dy/dt = rhs(t, y)``.
+
+    Parameters
+    ----------
+    rhs:
+        Right-hand side.
+    y0:
+        Initial state at ``t_span[0]``.
+    t_span:
+        Integration interval ``(t0, t1)`` with ``t1 > t0``.
+    rtol, atol:
+        Relative and absolute error tolerances of the embedded error estimate.
+    max_step:
+        Optional upper bound on the step size.
+    first_step:
+        Optional initial step size; a heuristic is used when omitted.
+    dense_times:
+        If given, the returned solution is resampled onto these times using
+        cubic Hermite interpolation between accepted steps; otherwise the
+        accepted step points are returned.
+    max_steps:
+        Safety limit on the number of accepted steps.
+    """
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if not t1 > t0:
+        raise ValueError("t_span must satisfy t1 > t0")
+    check_positive(rtol, "rtol")
+    check_positive(atol, "atol")
+    state = np.asarray(y0, dtype=float).copy()
+    if state.ndim != 1:
+        raise ValueError("y0 must be one-dimensional")
+
+    span = t1 - t0
+    if max_step is None:
+        max_step = span
+    if first_step is None:
+        first_step = min(max_step, span / 100.0)
+    h = float(first_step)
+
+    times = [t0]
+    states = [state.copy()]
+    derivs = [np.asarray(rhs(t0, state), dtype=float)]
+    t = t0
+    accepted = 0
+    rejected = 0
+
+    while t < t1 - 1e-14 * span:
+        h = min(h, t1 - t, max_step)
+        k = np.empty((7, state.size))
+        k[0] = derivs[-1]
+        for stage in range(1, 7):
+            increment = h * (_DP_A[stage] @ k[:stage])
+            k[stage] = np.asarray(rhs(t + _DP_C[stage] * h, state + increment), dtype=float)
+        y5 = state + h * (_DP_B5 @ k)
+        y4 = state + h * (_DP_B4 @ k)
+        scale = atol + rtol * np.maximum(np.abs(state), np.abs(y5))
+        error = np.sqrt(np.mean(((y5 - y4) / scale) ** 2))
+        if error <= 1.0 or h <= 1e-13 * span:
+            t = t + h
+            state = y5
+            times.append(t)
+            states.append(state.copy())
+            derivs.append(k[6].copy())  # FSAL: last stage is the derivative at t+h.
+            accepted += 1
+            if accepted >= max_steps:
+                raise RuntimeError("integrate_rk45 exceeded the maximum number of steps")
+        else:
+            rejected += 1
+        # Standard step-size controller with safety factor and bounds.
+        factor = 0.9 * (1.0 / max(error, 1e-10)) ** 0.2
+        h = h * min(5.0, max(0.2, factor))
+
+    times_arr = np.asarray(times)
+    states_arr = np.asarray(states)
+    if dense_times is None:
+        return ODESolution(times=times_arr, states=states_arr, num_steps=accepted, num_rejected=rejected)
+
+    query = check_sorted(dense_times, "dense_times", strict=False)
+    if query[0] < times_arr[0] - 1e-9 or query[-1] > times_arr[-1] + 1e-9:
+        raise ValueError("dense_times must lie inside the integration interval")
+    dense = _hermite_resample(times_arr, states_arr, np.asarray(derivs), query)
+    return ODESolution(times=query, states=dense, num_steps=accepted, num_rejected=rejected)
+
+
+def _hermite_resample(
+    times: np.ndarray,
+    states: np.ndarray,
+    derivs: np.ndarray,
+    query: np.ndarray,
+) -> np.ndarray:
+    """Cubic Hermite interpolation of (states, derivs) samples at ``query``."""
+    idx = np.clip(np.searchsorted(times, query, side="right") - 1, 0, times.size - 2)
+    h = times[idx + 1] - times[idx]
+    s = np.where(h > 0, (query - times[idx]) / np.where(h > 0, h, 1.0), 0.0)
+    h00 = 2 * s**3 - 3 * s**2 + 1
+    h10 = s**3 - 2 * s**2 + s
+    h01 = -2 * s**3 + 3 * s**2
+    h11 = s**3 - s**2
+    result = (
+        h00[:, None] * states[idx]
+        + h10[:, None] * (h[:, None] * derivs[idx])
+        + h01[:, None] * states[idx + 1]
+        + h11[:, None] * (h[:, None] * derivs[idx + 1])
+    )
+    return result

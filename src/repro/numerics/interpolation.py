@@ -1,0 +1,167 @@
+"""Interpolation utilities: natural cubic splines and linear interpolation.
+
+The natural cubic spline implemented here is the work-horse of the
+deconvolution basis (:mod:`repro.core.basis`): each basis function
+``psi_i(phi)`` is the natural cubic spline taking the value one at knot ``i``
+and zero at every other knot.  The implementation solves the classical
+tridiagonal system for the knot second derivatives and supports evaluation of
+the spline and of its first and second derivatives, as well as exact
+integration of products of second derivatives (needed by the roughness
+penalty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.tridiagonal import solve_tridiagonal
+from repro.utils.validation import check_sorted, ensure_1d
+
+
+class LinearInterpolator:
+    """Piecewise-linear interpolation with constant extrapolation.
+
+    Parameters
+    ----------
+    x:
+        Strictly increasing sample locations.
+    y:
+        Sample values at ``x``.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.x = check_sorted(x, "x")
+        self.y = ensure_1d(y, "y")
+        if self.x.size != self.y.size:
+            raise ValueError("x and y must have the same length")
+        if self.x.size < 2:
+            raise ValueError("need at least two points to interpolate")
+
+    def __call__(self, points: np.ndarray | float) -> np.ndarray:
+        """Evaluate the interpolant at ``points`` (clamped to the data range)."""
+        pts = np.atleast_1d(np.asarray(points, dtype=float))
+        values = np.interp(pts, self.x, self.y)
+        return values if np.ndim(points) else float(values[0])
+
+
+class NaturalCubicSpline:
+    """Natural cubic spline through ``(knots, values)``.
+
+    The spline has zero second derivative at both end knots ("natural"
+    boundary conditions).  Evaluation outside the knot range extrapolates the
+    end cubic pieces, which keeps derivative-based constraints well defined at
+    exactly ``phi = 0`` and ``phi = 1`` when they coincide with the end knots.
+
+    Parameters
+    ----------
+    knots:
+        Strictly increasing knot locations (at least three).
+    values:
+        Function values at the knots.
+    """
+
+    def __init__(self, knots: np.ndarray, values: np.ndarray) -> None:
+        self.knots = check_sorted(knots, "knots")
+        self.values = ensure_1d(values, "values")
+        if self.knots.size != self.values.size:
+            raise ValueError("knots and values must have the same length")
+        if self.knots.size < 3:
+            raise ValueError("a natural cubic spline needs at least three knots")
+        self.second_derivatives = self._solve_second_derivatives()
+
+    def _solve_second_derivatives(self) -> np.ndarray:
+        """Solve the tridiagonal system for the knot second derivatives."""
+        x = self.knots
+        y = self.values
+        n = x.size
+        h = np.diff(x)
+        # Interior equations: h[i-1] M[i-1] + 2 (h[i-1]+h[i]) M[i] + h[i] M[i+1]
+        #                     = 6 ((y[i+1]-y[i])/h[i] - (y[i]-y[i-1])/h[i-1])
+        diagonal = np.ones(n)
+        lower = np.zeros(n)
+        upper = np.zeros(n)
+        rhs = np.zeros(n)
+        diagonal[1:-1] = 2.0 * (h[:-1] + h[1:])
+        lower[1:-1] = h[:-1]
+        upper[1:-1] = h[1:]
+        slopes = np.diff(y) / h
+        rhs[1:-1] = 6.0 * (slopes[1:] - slopes[:-1])
+        # Natural boundary conditions: M[0] = M[n-1] = 0 (rows already identity).
+        return solve_tridiagonal(lower, diagonal, upper, rhs)
+
+    def _locate(self, points: np.ndarray) -> np.ndarray:
+        """Index of the knot interval containing each point (clamped)."""
+        idx = np.searchsorted(self.knots, points, side="right") - 1
+        return np.clip(idx, 0, self.knots.size - 2)
+
+    def __call__(self, points: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the spline at ``points``."""
+        return self._evaluate(points, derivative=0)
+
+    def derivative(self, points: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the first derivative of the spline at ``points``."""
+        return self._evaluate(points, derivative=1)
+
+    def second_derivative(self, points: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the second derivative of the spline at ``points``."""
+        return self._evaluate(points, derivative=2)
+
+    def _evaluate(self, points: np.ndarray | float, derivative: int) -> np.ndarray | float:
+        pts = np.atleast_1d(np.asarray(points, dtype=float))
+        idx = self._locate(pts)
+        x = self.knots
+        y = self.values
+        m = self.second_derivatives
+        h = x[idx + 1] - x[idx]
+        a = (x[idx + 1] - pts) / h
+        b = (pts - x[idx]) / h
+        if derivative == 0:
+            values = (
+                a * y[idx]
+                + b * y[idx + 1]
+                + ((a**3 - a) * m[idx] + (b**3 - b) * m[idx + 1]) * (h**2) / 6.0
+            )
+        elif derivative == 1:
+            values = (
+                (y[idx + 1] - y[idx]) / h
+                - (3.0 * a**2 - 1.0) / 6.0 * h * m[idx]
+                + (3.0 * b**2 - 1.0) / 6.0 * h * m[idx + 1]
+            )
+        elif derivative == 2:
+            values = a * m[idx] + b * m[idx + 1]
+        else:
+            raise ValueError(f"derivative order must be 0, 1 or 2, got {derivative}")
+        return values if np.ndim(points) else float(values[0])
+
+    def integrate(self) -> float:
+        """Exact integral of the spline over the full knot range."""
+        x = self.knots
+        y = self.values
+        m = self.second_derivatives
+        h = np.diff(x)
+        # Integral of the cubic on each interval in terms of endpoint values
+        # and second derivatives.
+        piece = 0.5 * h * (y[:-1] + y[1:]) - (h**3) / 24.0 * (m[:-1] + m[1:])
+        return float(np.sum(piece))
+
+    def roughness_cross(self, other: "NaturalCubicSpline") -> float:
+        """Exact ``\\int s''(x) t''(x) dx`` for two splines sharing the knots.
+
+        The second derivative of a cubic spline is piecewise linear, so the
+        product on each interval is quadratic and Simpson's rule on the
+        interval endpoints and midpoint is exact.
+        """
+        if other.knots.shape != self.knots.shape or not np.allclose(other.knots, self.knots):
+            raise ValueError("roughness_cross requires splines defined on the same knots")
+        x = self.knots
+        h = np.diff(x)
+        m_self = self.second_derivatives
+        m_other = other.second_derivatives
+        mid_self = 0.5 * (m_self[:-1] + m_self[1:])
+        mid_other = 0.5 * (m_other[:-1] + m_other[1:])
+        piece = (
+            h
+            / 6.0
+            * (m_self[:-1] * m_other[:-1] + 4.0 * mid_self * mid_other + m_self[1:] * m_other[1:])
+        )
+        return float(np.sum(piece))

@@ -1,0 +1,119 @@
+"""Nelder-Mead simplex minimisation.
+
+Used by the parameter-estimation application (:mod:`repro.estimation`), where
+the objective — squared error of an ODE model pushed through the forward
+population kernel — is cheap but not differentiable in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d
+
+
+@dataclass
+class NelderMeadResult:
+    """Result of a Nelder-Mead minimisation."""
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    function_evaluations: int
+    converged: bool
+
+
+def minimize_nelder_mead(
+    objective: Callable[[np.ndarray], float],
+    x0: Sequence[float] | np.ndarray,
+    *,
+    initial_step: float | Sequence[float] = 0.1,
+    max_iterations: int = 2000,
+    xatol: float = 1e-8,
+    fatol: float = 1e-10,
+) -> NelderMeadResult:
+    """Minimise ``objective`` starting from ``x0`` with the Nelder-Mead simplex.
+
+    Parameters
+    ----------
+    objective:
+        Scalar function of a 1-D array.
+    x0:
+        Initial point.
+    initial_step:
+        Size of the initial simplex displacement along each coordinate;
+        scalar or per-coordinate sequence.
+    max_iterations:
+        Iteration cap.
+    xatol, fatol:
+        Convergence tolerances on simplex spread and on function spread.
+    """
+    x0 = ensure_1d(x0, "x0")
+    n = x0.size
+    steps = np.broadcast_to(np.asarray(initial_step, dtype=float), (n,)).copy()
+    steps[steps == 0] = 1e-4
+
+    # Build the initial simplex: x0 plus one displaced vertex per coordinate.
+    simplex = np.vstack([x0] + [x0 + np.eye(n)[i] * steps[i] for i in range(n)])
+    values = np.array([float(objective(vertex)) for vertex in simplex])
+    evaluations = n + 1
+
+    alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        order = np.argsort(values)
+        simplex = simplex[order]
+        values = values[order]
+
+        if (
+            np.max(np.abs(simplex[1:] - simplex[0])) <= xatol
+            and np.max(np.abs(values[1:] - values[0])) <= fatol
+        ):
+            converged = True
+            break
+
+        centroid = np.mean(simplex[:-1], axis=0)
+        reflected = centroid + alpha * (centroid - simplex[-1])
+        f_reflected = float(objective(reflected))
+        evaluations += 1
+
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        if f_reflected < values[0]:
+            expanded = centroid + gamma * (reflected - centroid)
+            f_expanded = float(objective(expanded))
+            evaluations += 1
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        # Contraction (outside if the reflection improved on the worst point).
+        if f_reflected < values[-1]:
+            contracted = centroid + rho * (reflected - centroid)
+        else:
+            contracted = centroid + rho * (simplex[-1] - centroid)
+        f_contracted = float(objective(contracted))
+        evaluations += 1
+        if f_contracted < min(f_reflected, values[-1]):
+            simplex[-1], values[-1] = contracted, f_contracted
+            continue
+        # Shrink towards the best vertex.
+        simplex[1:] = simplex[0] + sigma * (simplex[1:] - simplex[0])
+        values[1:] = [float(objective(vertex)) for vertex in simplex[1:]]
+        evaluations += n
+
+    order = np.argsort(values)
+    best = simplex[order[0]]
+    return NelderMeadResult(
+        x=best,
+        fun=float(values[order[0]]),
+        iterations=iteration,
+        function_evaluations=evaluations,
+        converged=converged,
+    )

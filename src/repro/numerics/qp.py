@@ -1,0 +1,293 @@
+"""Dense convex quadratic programming.
+
+The deconvolution estimate (Sec. 2.3 of the paper) is the solution of
+
+    minimize    0.5 x^T H x + g^T x
+    subject to  A_eq x  = b_eq          (RNA conservation, rate continuity)
+                A_in x >= b_in          (positivity of the expression)
+
+with ``H`` symmetric positive (semi-)definite.  This module provides a primal
+active-set solver for that problem class plus a thin wrapper that can also
+dispatch to SciPy's SLSQP as an alternative backend (useful for
+cross-checking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d, ensure_2d
+
+
+@dataclass
+class QuadraticProgram:
+    """Data of a convex quadratic program.
+
+    Attributes
+    ----------
+    hessian:
+        Symmetric matrix ``H`` of the quadratic term, shape ``(n, n)``.
+    gradient:
+        Linear term ``g``, shape ``(n,)``.
+    eq_matrix, eq_vector:
+        Equality constraints ``A_eq x = b_eq`` (may be empty).
+    ineq_matrix, ineq_vector:
+        Inequality constraints ``A_in x >= b_in`` (may be empty).
+    """
+
+    hessian: np.ndarray
+    gradient: np.ndarray
+    eq_matrix: Optional[np.ndarray] = None
+    eq_vector: Optional[np.ndarray] = None
+    ineq_matrix: Optional[np.ndarray] = None
+    ineq_vector: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.hessian = ensure_2d(self.hessian, "hessian")
+        self.gradient = ensure_1d(self.gradient, "gradient")
+        n = self.gradient.size
+        if self.hessian.shape != (n, n):
+            raise ValueError("hessian shape does not match gradient length")
+        if not np.allclose(self.hessian, self.hessian.T, atol=1e-8):
+            raise ValueError("hessian must be symmetric")
+        if (self.eq_matrix is None) != (self.eq_vector is None):
+            raise ValueError("eq_matrix and eq_vector must be provided together")
+        if (self.ineq_matrix is None) != (self.ineq_vector is None):
+            raise ValueError("ineq_matrix and ineq_vector must be provided together")
+        if self.eq_matrix is not None:
+            self.eq_matrix = ensure_2d(self.eq_matrix, "eq_matrix")
+            self.eq_vector = ensure_1d(self.eq_vector, "eq_vector")
+            if self.eq_matrix.shape != (self.eq_vector.size, n):
+                raise ValueError("equality constraint shapes are inconsistent")
+        if self.ineq_matrix is not None:
+            self.ineq_matrix = ensure_2d(self.ineq_matrix, "ineq_matrix")
+            self.ineq_vector = ensure_1d(self.ineq_vector, "ineq_vector")
+            if self.ineq_matrix.shape != (self.ineq_vector.size, n):
+                raise ValueError("inequality constraint shapes are inconsistent")
+
+    @property
+    def num_variables(self) -> int:
+        """Number of optimisation variables."""
+        return self.gradient.size
+
+    def objective(self, x: np.ndarray) -> float:
+        """Evaluate ``0.5 x^T H x + g^T x``."""
+        x = ensure_1d(x, "x")
+        return float(0.5 * x @ self.hessian @ x + self.gradient @ x)
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-7) -> bool:
+        """Check whether ``x`` satisfies all constraints within ``tol``."""
+        x = ensure_1d(x, "x")
+        if self.eq_matrix is not None:
+            if np.max(np.abs(self.eq_matrix @ x - self.eq_vector), initial=0.0) > tol:
+                return False
+        if self.ineq_matrix is not None:
+            if np.min(self.ineq_matrix @ x - self.ineq_vector, initial=0.0) < -tol:
+                return False
+        return True
+
+
+@dataclass
+class QPResult:
+    """Result of a quadratic-program solve."""
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+    active_set: list[int] = field(default_factory=list)
+    message: str = ""
+
+
+def _solve_kkt(hessian: np.ndarray, gradient: np.ndarray, constraints: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the equality-constrained KKT system.
+
+    Returns the step ``p`` minimising ``0.5 p^T H p + gradient^T p`` subject to
+    ``constraints @ p = 0`` and the Lagrange multipliers of those constraints.
+    """
+    n = gradient.size
+    m = constraints.shape[0]
+    kkt = np.zeros((n + m, n + m))
+    kkt[:n, :n] = hessian
+    if m:
+        kkt[:n, n:] = constraints.T
+        kkt[n:, :n] = constraints
+    rhs = np.concatenate([-gradient, np.zeros(m)])
+    try:
+        solution = np.linalg.solve(kkt, rhs)
+    except np.linalg.LinAlgError:
+        solution, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
+    return solution[:n], solution[n:]
+
+
+def solve_qp_active_set(
+    problem: QuadraticProgram,
+    x0: Optional[np.ndarray] = None,
+    *,
+    max_iterations: int = 500,
+    tol: float = 1e-9,
+) -> QPResult:
+    """Primal active-set method for a convex QP.
+
+    Parameters
+    ----------
+    problem:
+        Problem data; ``hessian`` should be positive definite (add a small
+        ridge when building the problem if necessary).
+    x0:
+        Feasible starting point.  Defaults to the zero vector, which is
+        feasible for the homogeneous constraints arising in deconvolution;
+        a ``ValueError`` is raised if the starting point is infeasible.
+    max_iterations:
+        Iteration cap for the active-set loop.
+    tol:
+        Numerical tolerance used for step, feasibility and multiplier tests.
+    """
+    n = problem.num_variables
+    x = np.zeros(n) if x0 is None else ensure_1d(x0, "x0").copy()
+    if x.size != n:
+        raise ValueError("x0 has the wrong length")
+    if not problem.is_feasible(x, tol=1e-6):
+        raise ValueError("the starting point x0 is not feasible")
+
+    eq_matrix = problem.eq_matrix if problem.eq_matrix is not None else np.zeros((0, n))
+    ineq_matrix = problem.ineq_matrix if problem.ineq_matrix is not None else np.zeros((0, n))
+    ineq_vector = problem.ineq_vector if problem.ineq_vector is not None else np.zeros(0)
+    num_ineq = ineq_matrix.shape[0]
+
+    # Working set holds indices of inequality constraints treated as equalities.
+    # It starts empty even when some constraints are active at x0 (a common,
+    # degenerate situation here: the zero start activates every positivity
+    # row); blocking constraints are added one at a time as zero-length steps
+    # are taken, which keeps the KKT systems well conditioned.
+    working: set[int] = set()
+
+    for iteration in range(1, max_iterations + 1):
+        active_rows = ineq_matrix[sorted(working)] if working else np.zeros((0, n))
+        constraint_matrix = np.vstack([eq_matrix, active_rows]) if (eq_matrix.size or active_rows.size) else np.zeros((0, n))
+        gradient_at_x = problem.hessian @ x + problem.gradient
+        step, multipliers = _solve_kkt(problem.hessian, gradient_at_x, constraint_matrix)
+
+        if np.linalg.norm(step) <= tol * max(1.0, np.linalg.norm(x)):
+            # Stationary on the working set: check the KKT multipliers of the
+            # active inequality constraints.  The KKT solve returns multipliers
+            # for the system ``H p + C^T mu = -(H x + g)``, so the Lagrange
+            # multipliers of the ``a_i^T x >= b_i`` constraints are ``-mu``.
+            num_eq = eq_matrix.shape[0]
+            lagrange = -multipliers[num_eq:]
+            if lagrange.size == 0 or np.all(lagrange >= -tol):
+                return QPResult(
+                    x=x,
+                    objective=problem.objective(x),
+                    iterations=iteration,
+                    converged=True,
+                    active_set=sorted(working),
+                    message="optimal",
+                )
+            # Drop the active constraint with the most negative multiplier.
+            worst = int(np.argmin(lagrange))
+            working.remove(sorted(working)[worst])
+            continue
+
+        # Determine the largest feasible step length along ``step``.
+        alpha = 1.0
+        blocking = None
+        if num_ineq:
+            inactive = [i for i in range(num_ineq) if i not in working]
+            if inactive:
+                rows = ineq_matrix[inactive]
+                directional = rows @ step
+                slack = rows @ x - ineq_vector[inactive]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratios = np.where(directional < -tol, -slack / directional, np.inf)
+                best = int(np.argmin(ratios))
+                if ratios[best] < alpha:
+                    alpha = float(max(ratios[best], 0.0))
+                    blocking = inactive[best]
+        x = x + alpha * step
+        if blocking is not None:
+            working.add(blocking)
+
+    return QPResult(
+        x=x,
+        objective=problem.objective(x),
+        iterations=max_iterations,
+        converged=False,
+        active_set=sorted(working),
+        message="maximum iterations reached",
+    )
+
+
+def _solve_qp_scipy(problem: QuadraticProgram, x0: Optional[np.ndarray]) -> QPResult:
+    """Solve the QP with SciPy's SLSQP (cross-check backend)."""
+    from scipy import optimize
+
+    n = problem.num_variables
+    start = np.zeros(n) if x0 is None else ensure_1d(x0, "x0")
+    constraints = []
+    if problem.eq_matrix is not None:
+        constraints.append(
+            {
+                "type": "eq",
+                "fun": lambda x, A=problem.eq_matrix, b=problem.eq_vector: A @ x - b,
+                "jac": lambda x, A=problem.eq_matrix: A,
+            }
+        )
+    if problem.ineq_matrix is not None:
+        constraints.append(
+            {
+                "type": "ineq",
+                "fun": lambda x, A=problem.ineq_matrix, b=problem.ineq_vector: A @ x - b,
+                "jac": lambda x, A=problem.ineq_matrix: A,
+            }
+        )
+    result = optimize.minimize(
+        problem.objective,
+        start,
+        jac=lambda x: problem.hessian @ x + problem.gradient,
+        method="SLSQP",
+        constraints=constraints,
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    return QPResult(
+        x=np.asarray(result.x, dtype=float),
+        objective=float(result.fun),
+        iterations=int(result.nit),
+        converged=bool(result.success),
+        message=str(result.message),
+    )
+
+
+def solve_qp(
+    problem: QuadraticProgram,
+    x0: Optional[np.ndarray] = None,
+    *,
+    backend: str = "auto",
+    max_iterations: int = 500,
+    tol: float = 1e-9,
+) -> QPResult:
+    """Solve a convex QP with the selected backend.
+
+    Backends: ``"active_set"`` (in-repo solver), ``"scipy"`` (SLSQP), or
+    ``"auto"`` which runs the active-set solver and falls back to SciPy if it
+    fails to converge or returns an infeasible point.
+    """
+    if backend == "active_set":
+        return solve_qp_active_set(problem, x0, max_iterations=max_iterations, tol=tol)
+    if backend == "scipy":
+        return _solve_qp_scipy(problem, x0)
+    if backend == "auto":
+        result = solve_qp_active_set(problem, x0, max_iterations=max_iterations, tol=tol)
+        if result.converged and problem.is_feasible(result.x, tol=1e-6):
+            return result
+        fallback = _solve_qp_scipy(problem, x0)
+        # Keep whichever feasible solution has the lower objective.
+        if not fallback.converged:
+            return result if result.converged else fallback
+        if result.converged and result.objective < fallback.objective:
+            return result
+        return fallback
+    raise ValueError(f"unknown QP backend {backend!r}")

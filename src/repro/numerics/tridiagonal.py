@@ -1,0 +1,74 @@
+"""Tridiagonal linear solves (Thomas algorithm).
+
+Natural cubic spline construction requires solving a symmetric tridiagonal
+system for the second derivatives at the knots; the Thomas algorithm does this
+in ``O(n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d
+
+
+def solve_tridiagonal(
+    lower: np.ndarray,
+    diagonal: np.ndarray,
+    upper: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Solve a tridiagonal system ``A x = rhs``.
+
+    Parameters
+    ----------
+    lower:
+        Sub-diagonal of length ``n`` whose first entry is ignored
+        (``lower[i]`` multiplies ``x[i-1]`` in row ``i``).
+    diagonal:
+        Main diagonal of length ``n``.
+    upper:
+        Super-diagonal of length ``n`` whose last entry is ignored
+        (``upper[i]`` multiplies ``x[i+1]`` in row ``i``).
+    rhs:
+        Right-hand side; may be 1-D of length ``n`` or 2-D of shape ``(n, k)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Solution with the same shape as ``rhs``.
+    """
+    diagonal = ensure_1d(diagonal, "diagonal")
+    lower = ensure_1d(lower, "lower")
+    upper = ensure_1d(upper, "upper")
+    n = diagonal.size
+    if lower.size != n or upper.size != n:
+        raise ValueError("lower, diagonal and upper must have equal length")
+    rhs_arr = np.asarray(rhs, dtype=float)
+    squeeze = rhs_arr.ndim == 1
+    if squeeze:
+        rhs_arr = rhs_arr[:, None]
+    if rhs_arr.shape[0] != n:
+        raise ValueError("rhs length does not match the system size")
+
+    # Forward elimination with a stability check on the pivots.
+    c_prime = np.zeros(n)
+    d_prime = np.zeros_like(rhs_arr)
+    pivot = diagonal[0]
+    if abs(pivot) < 1e-300:
+        raise np.linalg.LinAlgError("zero pivot in tridiagonal solve")
+    c_prime[0] = upper[0] / pivot
+    d_prime[0] = rhs_arr[0] / pivot
+    for i in range(1, n):
+        pivot = diagonal[i] - lower[i] * c_prime[i - 1]
+        if abs(pivot) < 1e-300:
+            raise np.linalg.LinAlgError("zero pivot in tridiagonal solve")
+        c_prime[i] = upper[i] / pivot
+        d_prime[i] = (rhs_arr[i] - lower[i] * d_prime[i - 1]) / pivot
+
+    # Back substitution.
+    solution = np.zeros_like(rhs_arr)
+    solution[-1] = d_prime[-1]
+    for i in range(n - 2, -1, -1):
+        solution[i] = d_prime[i] - c_prime[i] * solution[i + 1]
+    return solution[:, 0] if squeeze else solution

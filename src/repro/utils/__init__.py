@@ -1,0 +1,27 @@
+"""Small shared utilities: argument validation, RNG handling and grids."""
+
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_sorted,
+    ensure_1d,
+    ensure_2d,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.gridding import phase_grid, time_grid, bin_edges, bin_centers
+
+__all__ = [
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_sorted",
+    "ensure_1d",
+    "ensure_2d",
+    "as_generator",
+    "spawn_generators",
+    "phase_grid",
+    "time_grid",
+    "bin_edges",
+    "bin_centers",
+]

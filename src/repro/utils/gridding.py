@@ -1,0 +1,42 @@
+"""Phase and time grid construction helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def phase_grid(num_points: int) -> np.ndarray:
+    """Uniform grid on the phase interval ``[0, 1]`` including both endpoints."""
+    num_points = int(num_points)
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    return np.linspace(0.0, 1.0, num_points)
+
+
+def time_grid(t_end: float, num_points: int, *, t_start: float = 0.0) -> np.ndarray:
+    """Uniform time grid on ``[t_start, t_end]`` with ``num_points`` samples."""
+    check_positive(t_end - t_start, "t_end - t_start")
+    num_points = int(num_points)
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    return np.linspace(float(t_start), float(t_end), num_points)
+
+
+def bin_edges(num_bins: int, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Edges of ``num_bins`` equal-width bins covering ``[low, high]``."""
+    num_bins = int(num_bins)
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    if not high > low:
+        raise ValueError("high must exceed low")
+    return np.linspace(low, high, num_bins + 1)
+
+
+def bin_centers(edges: np.ndarray) -> np.ndarray:
+    """Midpoints of adjacent bin edges."""
+    edges = np.asarray(edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("edges must be a 1-D array with at least two entries")
+    return 0.5 * (edges[:-1] + edges[1:])

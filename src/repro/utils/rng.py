@@ -1,0 +1,48 @@
+"""Random-number-generator helpers.
+
+Every stochastic component of the package accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  These helpers
+normalise that convention and provide independent child generators for
+parallel / repeated experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed type.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot interpret {seed!r} as a random seed")
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent generators from one seed."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a seed sequence from the generator's own bit stream so that
+        # repeated calls advance deterministically.
+        children = [np.random.default_rng(seed.integers(0, 2**63 - 1)) for _ in range(count)]
+        return children
+    base = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in base.spawn(count)]

@@ -1,0 +1,5 @@
+"""Plain-text visualisation helpers (no plotting dependencies required)."""
+
+from repro.viz.ascii import ascii_plot, ascii_compare
+
+__all__ = ["ascii_plot", "ascii_compare"]

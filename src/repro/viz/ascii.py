@@ -1,0 +1,96 @@
+"""ASCII line plots for terminals and log files.
+
+The examples and benchmarks report series as tables; for a quicker visual
+impression (does the deconvolved curve peak where the truth peaks?) these
+helpers render one or more series as a character grid.  They intentionally
+avoid any plotting dependency so they work in the offline benchmark
+environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d
+
+_MARKERS = "*o+x#@"
+
+
+def _render(
+    series: list[tuple[str, np.ndarray, np.ndarray]],
+    *,
+    width: int,
+    height: int,
+    x_label: str,
+    y_label: str,
+) -> str:
+    all_x = np.concatenate([x for _, x, _ in series])
+    all_y = np.concatenate([y for _, _, y in series])
+    x_min, x_max = float(np.min(all_x)), float(np.max(all_x))
+    y_min, y_max = float(np.min(all_y)), float(np.max(all_y))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, x_values, y_values) in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        columns = np.round((x_values - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = np.round((y_values - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for column, row in zip(columns, rows):
+            grid[height - 1 - row][column] = marker
+
+    lines = [f"{y_label} [{y_min:.3g}, {y_max:.3g}]"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.3g} .. {x_max:.3g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, (name, _, _) in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    x_values: np.ndarray,
+    y_values: np.ndarray,
+    *,
+    name: str = "series",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a single series as an ASCII plot string."""
+    x_values = ensure_1d(x_values, "x_values")
+    y_values = ensure_1d(y_values, "y_values")
+    if x_values.size != y_values.size:
+        raise ValueError("x_values and y_values must have the same length")
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+    return _render([(name, x_values, y_values)], width=width, height=height,
+                   x_label=x_label, y_label=y_label)
+
+
+def ascii_compare(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render several named ``(x, y)`` series on one shared ASCII grid."""
+    if not series:
+        raise ValueError("series must not be empty")
+    prepared = []
+    for name, (x_values, y_values) in series.items():
+        x_arr = ensure_1d(x_values, f"{name} x")
+        y_arr = ensure_1d(y_values, f"{name} y")
+        if x_arr.size != y_arr.size:
+            raise ValueError(f"series {name!r} has mismatched lengths")
+        prepared.append((name, x_arr, y_arr))
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+    return _render(prepared, width=width, height=height, x_label=x_label, y_label=y_label)

@@ -1,0 +1,51 @@
+"""Tests for repro.analysis.comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_to_truth
+from repro.core.deconvolver import Deconvolver
+from repro.data.synthetic import single_pulse_profile
+
+
+@pytest.fixture(scope="module")
+def fitted(small_kernel, paper_parameters):
+    truth = single_pulse_profile(center=0.45, width=0.12, amplitude=2.0, baseline=0.2)
+    values = small_kernel.apply_function(truth)
+    deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+    result = deconvolver.fit(small_kernel.times, values, lam=1e-4)
+    return result, truth
+
+
+class TestCompareToTruth:
+    def test_metrics_are_consistent(self, fitted):
+        result, truth = fitted
+        comparison = compare_to_truth(result, truth)
+        assert comparison.rmse >= 0
+        assert 0 <= comparison.nrmse
+        assert comparison.max_error >= comparison.rmse
+        assert -1.0 <= comparison.correlation <= 1.0
+
+    def test_deconvolution_beats_population_baseline(self, fitted):
+        result, truth = fitted
+        comparison = compare_to_truth(result, truth)
+        assert comparison.improvement_factor > 1.0
+        assert comparison.nrmse < comparison.population_nrmse
+
+    def test_explicit_population_series(self, fitted):
+        result, truth = fitted
+        comparison = compare_to_truth(
+            result,
+            truth,
+            population_values=result.measurements,
+            population_times=result.times,
+        )
+        default = compare_to_truth(result, truth)
+        assert comparison.population_nrmse == pytest.approx(default.population_nrmse)
+
+    def test_length_mismatch_rejected(self, fitted):
+        result, truth = fitted
+        with pytest.raises(ValueError):
+            compare_to_truth(
+                result, truth, population_values=np.ones(3), population_times=np.ones(4)
+            )

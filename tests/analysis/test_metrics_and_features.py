@@ -1,0 +1,123 @@
+"""Tests for repro.analysis.metrics and repro.analysis.features."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import (
+    detect_onset_phase,
+    detect_peak,
+    has_post_peak_increase,
+    post_peak_drop_fraction,
+)
+from repro.analysis.metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    nrmse,
+    pearson_correlation,
+    relative_error,
+    rmse,
+)
+
+
+class TestMetrics:
+    def test_rmse_known_value(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(np.sqrt(2.5))
+
+    def test_rmse_zero_for_identical(self):
+        values = np.linspace(0, 1, 10)
+        assert rmse(values, values) == 0.0
+
+    def test_nrmse_normalisation(self):
+        truth = np.array([0.0, 2.0])
+        estimate = truth + 1.0
+        assert nrmse(estimate, truth) == pytest.approx(0.5)
+
+    def test_nrmse_rejects_constant_truth(self):
+        with pytest.raises(ValueError):
+            nrmse(np.array([1.0, 2.0]), np.array([3.0, 3.0]))
+
+    def test_mae_and_max_error(self):
+        estimate = np.array([1.0, 2.0, 5.0])
+        truth = np.array([1.0, 1.0, 1.0])
+        assert mean_absolute_error(estimate, truth) == pytest.approx(5.0 / 3.0)
+        assert max_absolute_error(estimate, truth) == pytest.approx(4.0)
+
+    def test_pearson_correlation(self):
+        x = np.linspace(0, 1, 20)
+        assert pearson_correlation(2 * x + 1, x) == pytest.approx(1.0)
+        assert pearson_correlation(-x, x) == pytest.approx(-1.0)
+
+    def test_pearson_undefined_for_constant(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(5), np.arange(5.0))
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        result = relative_error(np.array([2.0, 0.5]), np.array([1.0, 1.0]))
+        assert np.allclose(result, [1.0, 0.5])
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.ones(3), np.ones(4))
+
+
+class TestOnsetDetection:
+    def test_delayed_profile_onset(self):
+        phases = np.linspace(0, 1, 201)
+        values = np.where(phases < 0.3, 0.0, phases - 0.3)
+        onset = detect_onset_phase(phases, values, threshold_fraction=0.1)
+        assert onset == pytest.approx(0.37, abs=0.02)
+
+    def test_profile_starting_high_has_zero_onset(self):
+        """A profile already above threshold at phase zero reports onset zero."""
+        phases = np.linspace(0, 1, 101)
+        values = np.exp(-2.0 * phases)
+        assert detect_onset_phase(phases, values) == 0.0
+
+    def test_constant_profile_rejected(self):
+        phases = np.linspace(0, 1, 11)
+        with pytest.raises(ValueError):
+            detect_onset_phase(phases, np.ones(11))
+
+    def test_threshold_validation(self):
+        phases = np.linspace(0, 1, 11)
+        with pytest.raises(ValueError):
+            detect_onset_phase(phases, phases, threshold_fraction=0.0)
+
+
+class TestPeakAndDrop:
+    def test_detect_peak(self):
+        phases = np.linspace(0, 1, 101)
+        values = np.exp(-((phases - 0.35) ** 2) / 0.01)
+        peak_phase, peak_value = detect_peak(phases, values)
+        assert peak_phase == pytest.approx(0.35, abs=0.01)
+        assert peak_value == pytest.approx(1.0, abs=1e-6)
+
+    def test_post_peak_drop_fraction(self):
+        phases = np.linspace(0, 1, 101)
+        values = np.where(phases < 0.4, phases / 0.4, 1.0 - 0.9 * (phases - 0.4) / 0.6)
+        assert post_peak_drop_fraction(phases, values) == pytest.approx(0.9, abs=0.02)
+
+    def test_post_peak_increase_detection(self):
+        phases = np.linspace(0, 1, 201)
+        monotone_decline = np.where(phases < 0.4, phases, 0.4 - 0.3 * (phases - 0.4))
+        rebounding = monotone_decline + np.where(phases > 0.8, 0.8 * (phases - 0.8), 0.0)
+        assert not has_post_peak_increase(phases, monotone_decline)
+        assert has_post_peak_increase(phases, rebounding)
+
+    def test_small_wiggles_ignored(self):
+        phases = np.linspace(0, 1, 201)
+        values = np.where(phases < 0.4, phases, 0.4 - 0.3 * (phases - 0.4))
+        wiggly = values + 0.002 * np.sin(40 * phases)
+        assert not has_post_peak_increase(phases, wiggly, tolerance_fraction=0.05)
+
+    def test_peak_at_end_means_no_increase(self):
+        phases = np.linspace(0, 1, 51)
+        assert not has_post_peak_increase(phases, phases.copy())
+
+    def test_drop_undefined_for_zero_profile(self):
+        phases = np.linspace(0, 1, 11)
+        with pytest.raises(ValueError):
+            post_peak_drop_fraction(phases, np.zeros(11))

@@ -1,0 +1,110 @@
+"""Tests for repro.cellcycle.celltypes."""
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.celltypes import (
+    CellType,
+    CellTypeBoundaries,
+    classify_phases,
+    simulate_type_distribution,
+    type_fractions,
+)
+from repro.cellcycle.parameters import CellCycleParameters
+
+
+class TestBoundaries:
+    def test_paper_ranges(self):
+        low = CellTypeBoundaries.paper_low()
+        mid = CellTypeBoundaries.paper_mid()
+        high = CellTypeBoundaries.paper_high()
+        assert low.ste_stepd == pytest.approx(0.6)
+        assert high.ste_stepd == pytest.approx(0.7)
+        assert low.stepd_stlpd == pytest.approx(0.85)
+        assert high.stepd_stlpd == pytest.approx(0.9)
+        assert low.ste_stepd < mid.ste_stepd < high.ste_stepd
+
+    def test_invalid_ordering(self):
+        with pytest.raises(ValueError):
+            CellTypeBoundaries(ste_stepd=0.9, stepd_stlpd=0.7)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            CellTypeBoundaries(ste_stepd=0.0, stepd_stlpd=0.5)
+
+
+class TestClassification:
+    def test_each_region_labelled_correctly(self):
+        phases = np.array([0.05, 0.3, 0.7, 0.95])
+        transitions = np.full(4, 0.15)
+        labels = classify_phases(phases, transitions)
+        assert list(labels) == [CellType.SW, CellType.STE, CellType.STEPD, CellType.STLPD]
+
+    def test_transition_phase_is_per_cell(self):
+        phases = np.array([0.2, 0.2])
+        transitions = np.array([0.25, 0.1])
+        labels = classify_phases(phases, transitions)
+        assert labels[0] == CellType.SW
+        assert labels[1] == CellType.STE
+
+    def test_custom_boundaries(self):
+        phases = np.array([0.65])
+        transitions = np.array([0.15])
+        default_label = classify_phases(phases, transitions)[0]
+        shifted = classify_phases(
+            phases, transitions, CellTypeBoundaries(ste_stepd=0.6, stepd_stlpd=0.9)
+        )[0]
+        assert default_label == CellType.STEPD
+        assert shifted == CellType.STEPD
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            classify_phases(np.array([0.5]), np.array([0.1, 0.2]))
+
+    def test_fractions_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        phases = rng.uniform(0, 1, 1000)
+        transitions = np.full(1000, 0.15)
+        fractions = type_fractions(phases, transitions)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert set(fractions) == set(CellType.ordered())
+
+
+class TestSimulatedDistribution:
+    @pytest.fixture(scope="class")
+    def distribution(self):
+        times = np.array([75.0, 90.0, 105.0, 120.0, 135.0, 150.0])
+        return simulate_type_distribution(
+            times, CellCycleParameters(), num_cells=8000, include_band=True, rng=0
+        )
+
+    def test_fractions_normalised(self, distribution):
+        assert distribution.check_normalised(tol=1e-9)
+
+    def test_band_brackets_midpoint(self, distribution):
+        for cell_type in CellType.ordered():
+            assert np.all(distribution.lower[cell_type] <= distribution.fractions[cell_type] + 1e-12)
+            assert np.all(distribution.upper[cell_type] >= distribution.fractions[cell_type] - 1e-12)
+
+    def test_early_culture_is_mostly_stalked_not_swarmer(self, distribution):
+        """75 minutes in, the synchronised culture has progressed past the SW stage."""
+        assert distribution.fractions[CellType.SW][0] < 0.1
+        assert distribution.fractions[CellType.STE][0] > 0.5
+
+    def test_swarmers_reappear_after_division(self, distribution):
+        """By 150 minutes divisions have produced a substantial swarmer fraction."""
+        sw = distribution.fractions[CellType.SW]
+        assert sw[-1] > sw[0] + 0.1
+
+    def test_predivisional_peak_mid_experiment(self, distribution):
+        stepd = distribution.fractions[CellType.STEPD]
+        assert np.argmax(stepd) not in (0, stepd.size - 1)
+
+    def test_matrix_shape(self, distribution):
+        assert distribution.as_matrix().shape == (6, 4)
+
+    def test_without_band(self):
+        dist = simulate_type_distribution(
+            np.array([80.0, 120.0]), num_cells=1000, include_band=False, rng=1
+        )
+        assert dist.lower == {} and dist.upper == {}

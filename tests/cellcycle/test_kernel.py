@@ -1,0 +1,147 @@
+"""Tests for repro.cellcycle.kernel (the Q(phi, t) estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.kernel import KernelBuilder, VolumeKernel
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.cellcycle.volume import LinearVolumeModel
+from repro.data.synthetic import constant_profile, linear_profile
+
+
+class TestVolumeKernelContainer:
+    def test_shapes_and_accessors(self, small_kernel, measurement_times):
+        assert small_kernel.num_measurements == measurement_times.size
+        assert small_kernel.num_bins == 60
+        assert small_kernel.phase_centers.shape == (60,)
+        assert small_kernel.phase_widths.shape == (60,)
+        assert small_kernel.density.shape == (measurement_times.size, 60)
+
+    def test_rows_integrate_to_one(self, small_kernel):
+        assert np.allclose(small_kernel.row_integrals(), 1.0, atol=1e-10)
+
+    def test_density_nonnegative(self, small_kernel):
+        assert np.all(small_kernel.density >= 0.0)
+
+    def test_apply_constant_profile_gives_constant(self, small_kernel):
+        """A phase-independent expression is unchanged by population averaging."""
+        values = small_kernel.apply(np.full(small_kernel.num_bins, 3.5))
+        assert np.allclose(values, 3.5, atol=1e-9)
+
+    def test_apply_function_matches_apply(self, small_kernel):
+        profile = linear_profile(0.0, 2.0)
+        via_function = small_kernel.apply_function(profile)
+        via_samples = small_kernel.apply(profile(small_kernel.phase_centers))
+        assert np.allclose(via_function, via_samples)
+
+    def test_apply_multiple_species(self, small_kernel):
+        matrix = np.column_stack(
+            [np.ones(small_kernel.num_bins), small_kernel.phase_centers]
+        )
+        result = small_kernel.apply(matrix)
+        assert result.shape == (small_kernel.num_measurements, 2)
+
+    def test_apply_rejects_wrong_length(self, small_kernel):
+        with pytest.raises(ValueError):
+            small_kernel.apply(np.ones(small_kernel.num_bins + 1))
+
+    def test_design_matrix_shape_and_consistency(self, small_kernel, basis12):
+        basis_at_centers = basis12.evaluate(small_kernel.phase_centers)
+        design = small_kernel.design_matrix(basis_at_centers)
+        assert design.shape == (small_kernel.num_measurements, basis12.num_basis)
+        coefficients = np.ones(basis12.num_basis)
+        direct = small_kernel.apply(basis_at_centers @ coefficients)
+        assert np.allclose(design @ coefficients, direct)
+
+    def test_restrict(self, small_kernel):
+        subset = small_kernel.restrict(np.array([0, 2, 4]))
+        assert subset.num_measurements == 3
+        assert np.allclose(subset.times, small_kernel.times[[0, 2, 4]])
+        assert np.allclose(subset.density, small_kernel.density[[0, 2, 4]])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            VolumeKernel(
+                times=np.array([0.0, 1.0]),
+                phase_edges=np.linspace(0, 1, 5),
+                density=np.zeros((3, 4)),
+                num_cells=np.array([1, 1, 1]),
+            )
+
+
+class TestKernelBuilder:
+    def test_initial_kernel_concentrated_at_low_phases(self, small_kernel):
+        """At t=0 the synchronised swarmer culture sits entirely below phi_sst."""
+        first_row = small_kernel.density[0]
+        centers = small_kernel.phase_centers
+        mass_below = np.sum((first_row * small_kernel.phase_widths)[centers < 0.25])
+        assert mass_below > 0.99
+
+    def test_kernel_mass_moves_to_later_phases(self, small_kernel):
+        """Half-way through the cycle the volume density peaks near mid-phase."""
+        centers = small_kernel.phase_centers
+        mid_index = small_kernel.num_measurements // 2
+        mid_row = small_kernel.density[mid_index]
+        mean_phase = np.sum(mid_row * small_kernel.phase_widths * centers)
+        assert 0.35 < mean_phase < 0.75
+
+    def test_reproducible_with_seed(self, paper_parameters):
+        times = np.linspace(0.0, 150.0, 5)
+        builder = KernelBuilder(paper_parameters, num_cells=1000, phase_bins=40)
+        a = builder.build(times, rng=7)
+        b = builder.build(times, rng=7)
+        assert np.allclose(a.density, b.density)
+
+    def test_volume_model_changes_kernel(self, paper_parameters):
+        times = np.linspace(0.0, 150.0, 5)
+        smooth = KernelBuilder(paper_parameters, num_cells=4000, phase_bins=40).build(times, rng=1)
+        linear = KernelBuilder(
+            paper_parameters, LinearVolumeModel(), num_cells=4000, phase_bins=40
+        ).build(times, rng=1)
+        assert not np.allclose(smooth.density, linear.density)
+
+    def test_smoothing_window_reduces_roughness(self, paper_parameters):
+        times = np.linspace(0.0, 150.0, 4)
+        rough = KernelBuilder(
+            paper_parameters, num_cells=2000, phase_bins=60, smoothing_window=1
+        ).build(times, rng=2)
+        smooth = KernelBuilder(
+            paper_parameters, num_cells=2000, phase_bins=60, smoothing_window=5
+        ).build(times, rng=2)
+        def roughness(kernel):
+            return float(np.mean(np.abs(np.diff(kernel.density, axis=1))))
+        assert roughness(smooth) < roughness(rough)
+        assert np.allclose(smooth.row_integrals(), 1.0, atol=1e-9)
+
+    def test_monte_carlo_convergence(self, paper_parameters):
+        """More simulated cells bring the kernel closer to a high-resolution reference."""
+        times = np.linspace(0.0, 150.0, 4)
+        reference = KernelBuilder(paper_parameters, num_cells=30_000, phase_bins=40).build(
+            times, rng=100
+        )
+        small = KernelBuilder(paper_parameters, num_cells=300, phase_bins=40).build(times, rng=101)
+        large = KernelBuilder(paper_parameters, num_cells=8000, phase_bins=40).build(times, rng=102)
+        error_small = np.mean(np.abs(small.density - reference.density))
+        error_large = np.mean(np.abs(large.density - reference.density))
+        assert error_large < error_small
+
+    def test_invalid_configuration(self, paper_parameters):
+        with pytest.raises(ValueError):
+            KernelBuilder(paper_parameters, num_cells=0)
+        with pytest.raises(ValueError):
+            KernelBuilder(paper_parameters, phase_bins=1)
+        with pytest.raises(ValueError):
+            KernelBuilder(paper_parameters, smoothing_window=2)
+
+    def test_negative_times_rejected(self, paper_parameters):
+        builder = KernelBuilder(paper_parameters, num_cells=100, phase_bins=20)
+        with pytest.raises(ValueError):
+            builder.build(np.array([-1.0, 10.0]))
+
+    def test_forward_model_dilution_of_pulse(self, small_kernel):
+        """Population averaging damps a sharp mid-cycle pulse (asynchrony blurs it)."""
+        from repro.data.synthetic import single_pulse_profile
+
+        pulse = single_pulse_profile(center=0.5, width=0.05, amplitude=1.0, baseline=0.0)
+        population = small_kernel.apply_function(pulse)
+        assert population.max() < 0.9 * pulse.values.max()

@@ -1,0 +1,104 @@
+"""Tests for repro.cellcycle.parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellcycle.parameters import CellCycleParameters
+
+
+class TestDefaults:
+    def test_paper_values(self, paper_parameters):
+        assert paper_parameters.mu_sst == pytest.approx(0.15)
+        assert paper_parameters.cv_sst == pytest.approx(0.13)
+        assert paper_parameters.mean_cycle_time == pytest.approx(150.0)
+        assert paper_parameters.swarmer_volume_fraction == pytest.approx(0.4)
+        assert paper_parameters.stalked_volume_fraction == pytest.approx(0.6)
+
+    def test_derived_sigmas(self, paper_parameters):
+        assert paper_parameters.sigma_sst == pytest.approx(0.15 * 0.13)
+        assert paper_parameters.sigma_cycle_time == pytest.approx(15.0)
+
+
+class TestValidation:
+    def test_mu_sst_must_be_interior(self):
+        with pytest.raises(ValueError):
+            CellCycleParameters(mu_sst=0.0)
+        with pytest.raises(ValueError):
+            CellCycleParameters(mu_sst=1.0)
+
+    def test_negative_cycle_time_rejected(self):
+        with pytest.raises(ValueError):
+            CellCycleParameters(mean_cycle_time=-5.0)
+
+    def test_volume_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            CellCycleParameters(swarmer_volume_fraction=0.5, stalked_volume_fraction=0.6)
+
+    def test_frozen(self, paper_parameters):
+        with pytest.raises(AttributeError):
+            paper_parameters.mu_sst = 0.2
+
+
+class TestSampling:
+    def test_transition_phase_statistics(self, paper_parameters):
+        samples = paper_parameters.sample_transition_phase(50_000, rng=0)
+        assert samples.shape == (50_000,)
+        assert np.all((samples > 0) & (samples < 1))
+        assert np.mean(samples) == pytest.approx(0.15, abs=0.002)
+        assert np.std(samples) == pytest.approx(0.15 * 0.13, rel=0.05)
+
+    def test_cycle_time_statistics(self, paper_parameters):
+        samples = paper_parameters.sample_cycle_time(50_000, rng=1)
+        assert np.all(samples > 0)
+        assert np.mean(samples) == pytest.approx(150.0, rel=0.01)
+        assert np.std(samples) == pytest.approx(15.0, rel=0.05)
+
+    def test_sampling_is_deterministic_for_fixed_seed(self, paper_parameters):
+        a = paper_parameters.sample_transition_phase(100, rng=7)
+        b = paper_parameters.sample_transition_phase(100, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_zero_cv_gives_constant_samples(self):
+        params = CellCycleParameters(cv_sst=0.0, cv_cycle_time=0.0)
+        assert np.allclose(params.sample_transition_phase(10, rng=0), 0.15)
+        assert np.allclose(params.sample_cycle_time(10, rng=0), 150.0)
+
+
+class TestDensityAndBeta:
+    def test_density_integrates_to_one(self, paper_parameters):
+        grid = np.linspace(0.0, 1.0, 20001)
+        density = paper_parameters.transition_phase_density(grid)
+        assert np.trapezoid(density, grid) == pytest.approx(1.0, abs=1e-6)
+
+    def test_density_peaks_at_mu(self, paper_parameters):
+        grid = np.linspace(0.0, 1.0, 2001)
+        density = paper_parameters.transition_phase_density(grid)
+        assert grid[int(np.argmax(density))] == pytest.approx(0.15, abs=0.002)
+
+    def test_density_scalar_output(self, paper_parameters):
+        assert isinstance(paper_parameters.transition_phase_density(0.15), float)
+
+    def test_density_undefined_for_zero_cv(self):
+        params = CellCycleParameters(cv_sst=0.0)
+        with pytest.raises(ValueError):
+            params.transition_phase_density(0.15)
+
+    def test_beta_matches_formula(self, paper_parameters):
+        assert paper_parameters.beta(0.15) == pytest.approx(0.4 / 0.85)
+        values = paper_parameters.beta(np.array([0.1, 0.2]))
+        assert np.allclose(values, [0.4 / 0.9, 0.4 / 0.8])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mu=st.floats(0.05, 0.5),
+    cv=st.floats(0.01, 0.3),
+    seed=st.integers(0, 1000),
+)
+def test_transition_samples_always_in_unit_interval(mu, cv, seed):
+    """Property: sampled transition phases always lie strictly inside (0, 1)."""
+    params = CellCycleParameters(mu_sst=mu, cv_sst=cv)
+    samples = params.sample_transition_phase(500, rng=seed)
+    assert np.all((samples > 0.0) & (samples < 1.0))

@@ -1,0 +1,78 @@
+"""Tests for repro.cellcycle.phase."""
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.cellcycle.phase import (
+    InitialCondition,
+    draw_cohort,
+    phase_at_time,
+    sample_initial_phases,
+    time_to_division,
+)
+
+
+class TestSampleInitialPhases:
+    def test_synchronized_swarmer_below_transition(self, paper_parameters):
+        transition = paper_parameters.sample_transition_phase(5000, rng=0)
+        phases = sample_initial_phases(transition, InitialCondition.SYNCHRONIZED_SWARMER, rng=1)
+        assert np.all(phases >= 0.0)
+        assert np.all(phases <= transition)
+
+    def test_all_at_zero(self):
+        transition = np.full(100, 0.15)
+        phases = sample_initial_phases(transition, InitialCondition.ALL_AT_ZERO, rng=0)
+        assert np.all(phases == 0.0)
+
+    def test_asynchronous_spans_unit_interval(self):
+        transition = np.full(20_000, 0.15)
+        phases = sample_initial_phases(transition, InitialCondition.ASYNCHRONOUS, rng=0)
+        assert phases.min() < 0.05
+        assert phases.max() > 0.95
+        assert np.mean(phases) == pytest.approx(0.5, abs=0.02)
+
+    def test_deterministic_given_seed(self):
+        transition = np.full(50, 0.15)
+        a = sample_initial_phases(transition, rng=3)
+        b = sample_initial_phases(transition, rng=3)
+        assert np.array_equal(a, b)
+
+
+class TestPhaseKinematics:
+    def test_phase_advances_at_inverse_cycle_time(self):
+        assert phase_at_time(0.1, 150.0, 75.0) == pytest.approx(0.6)
+
+    def test_vectorised_phase_advance(self):
+        phases = phase_at_time(np.array([0.0, 0.5]), np.array([100.0, 200.0]), 50.0)
+        assert np.allclose(phases, [0.5, 0.75])
+
+    def test_time_to_division(self):
+        assert time_to_division(0.4, 150.0) == pytest.approx(90.0)
+        assert time_to_division(0.0, 120.0) == pytest.approx(120.0)
+
+    def test_division_time_consistency(self):
+        """A cell reaches exactly phase one after time_to_division."""
+        phi0, cycle = 0.3, 140.0
+        remaining = time_to_division(phi0, cycle)
+        assert phase_at_time(phi0, cycle, remaining) == pytest.approx(1.0)
+
+
+class TestDrawCohort:
+    def test_shapes_and_ranges(self, paper_parameters):
+        phases, cycles, transitions = draw_cohort(paper_parameters, 1000, rng=0)
+        assert phases.shape == cycles.shape == transitions.shape == (1000,)
+        assert np.all(phases <= transitions)
+        assert np.all(cycles > 0)
+
+    def test_respects_initial_condition(self, paper_parameters):
+        phases, _, _ = draw_cohort(
+            paper_parameters, 100, condition=InitialCondition.ALL_AT_ZERO, rng=0
+        )
+        assert np.all(phases == 0.0)
+
+    def test_custom_parameters(self):
+        params = CellCycleParameters(mu_sst=0.3, mean_cycle_time=90.0)
+        _, cycles, transitions = draw_cohort(params, 5000, rng=2)
+        assert np.mean(transitions) == pytest.approx(0.3, abs=0.01)
+        assert np.mean(cycles) == pytest.approx(90.0, rel=0.02)

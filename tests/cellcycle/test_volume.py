@@ -1,0 +1,138 @@
+"""Tests for repro.cellcycle.volume — including the paper's eq. 11 properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellcycle.volume import (
+    LinearVolumeModel,
+    PiecewiseLinearVolumeModel,
+    SmoothVolumeModel,
+    make_volume_model,
+)
+
+ALL_MODELS = [LinearVolumeModel, PiecewiseLinearVolumeModel, SmoothVolumeModel]
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+class TestCommonProperties:
+    def test_volume_at_division_is_v0(self, model_cls):
+        model = model_cls(v0=2.0)
+        assert model.volume(1.0, 0.15) == pytest.approx(2.0)
+
+    def test_newborn_swarmer_volume(self, model_cls):
+        model = model_cls(v0=1.0)
+        assert model.volume(0.0, 0.15) == pytest.approx(0.4)
+        assert model.swarmer_birth_volume() == pytest.approx(0.4)
+
+    def test_volume_monotonically_increases(self, model_cls):
+        model = model_cls()
+        phases = np.linspace(0.0, 1.0, 301)
+        volumes = model.volume(phases, 0.15)
+        assert np.all(np.diff(volumes) > -1e-12)
+
+    def test_volume_bounded_between_daughter_and_parent(self, model_cls):
+        model = model_cls()
+        phases = np.linspace(0.0, 1.0, 301)
+        volumes = model.volume(phases, 0.15)
+        assert np.all(volumes >= 0.4 - 1e-12)
+        assert np.all(volumes <= 1.0 + 1e-12)
+
+    def test_scalar_output_type(self, model_cls):
+        model = model_cls()
+        assert isinstance(model.volume(0.5, 0.15), float)
+        assert isinstance(model.derivative(0.5, 0.15), float)
+
+    def test_invalid_phase_rejected(self, model_cls):
+        model = model_cls()
+        with pytest.raises(ValueError):
+            model.volume(1.5, 0.15)
+
+    def test_invalid_transition_phase_rejected(self, model_cls):
+        model = model_cls()
+        with pytest.raises(ValueError):
+            model.volume(0.5, 0.0)
+
+    def test_invalid_v0_rejected(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls(v0=-1.0)
+
+
+class TestPartitionModels:
+    """Models that respect the 40/60 partition hit 0.6 V0 at the transition."""
+
+    @pytest.mark.parametrize("model_cls", [PiecewiseLinearVolumeModel, SmoothVolumeModel])
+    @pytest.mark.parametrize("phi_sst", [0.1, 0.15, 0.25, 0.4])
+    def test_transition_volume_is_sixty_percent(self, model_cls, phi_sst):
+        model = model_cls()
+        assert model.volume(phi_sst, phi_sst) == pytest.approx(0.6, abs=1e-10)
+        assert model.stalked_birth_volume(phi_sst) == pytest.approx(0.6, abs=1e-10)
+
+    def test_plain_linear_model_ignores_partition(self):
+        model = LinearVolumeModel()
+        assert model.volume(0.15, 0.15) == pytest.approx(0.4 + 0.6 * 0.15)
+
+
+class TestSmoothModel:
+    """Properties (6)-(10) of the paper's eq. 11."""
+
+    @pytest.mark.parametrize("phi_sst", [0.1, 0.15, 0.2, 0.3])
+    def test_growth_rate_continuity_across_division(self, phi_sst):
+        model = SmoothVolumeModel()
+        rate_at_end = model.derivative(1.0, phi_sst)
+        assert model.derivative(0.0, phi_sst) == pytest.approx(rate_at_end, rel=1e-9)
+        assert model.derivative(phi_sst, phi_sst) == pytest.approx(rate_at_end, rel=1e-6)
+
+    @pytest.mark.parametrize("phi_sst", [0.1, 0.15, 0.25])
+    def test_end_growth_rate_value(self, phi_sst):
+        model = SmoothVolumeModel()
+        assert model.derivative(1.0, phi_sst) == pytest.approx(0.4 / (1.0 - phi_sst))
+
+    def test_derivative_continuous_at_transition(self):
+        model = SmoothVolumeModel()
+        phi_sst = 0.15
+        below = model.derivative(phi_sst - 1e-9, phi_sst)
+        above = model.derivative(phi_sst + 1e-9, phi_sst)
+        assert below == pytest.approx(above, rel=1e-4)
+
+    def test_derivative_matches_finite_difference(self):
+        model = SmoothVolumeModel()
+        phases = np.linspace(0.01, 0.99, 99)
+        h = 1e-6
+        numeric = (model.volume(phases + h, 0.15) - model.volume(phases - h, 0.15)) / (2 * h)
+        assert np.allclose(model.derivative(phases, 0.15), numeric, atol=1e-5)
+
+    def test_volume_conserved_at_division(self):
+        """Daughter volumes sum to the parent volume (0.4 + 0.6 = 1.0)."""
+        model = SmoothVolumeModel(v0=3.0)
+        parent = model.volume(1.0, 0.15)
+        daughters = model.swarmer_birth_volume() + model.stalked_birth_volume(0.15)
+        assert daughters == pytest.approx(parent)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_volume_model("linear"), LinearVolumeModel)
+        assert isinstance(make_volume_model("piecewise_linear"), PiecewiseLinearVolumeModel)
+        assert isinstance(make_volume_model("smooth"), SmoothVolumeModel)
+
+    def test_v0_forwarded(self):
+        assert make_volume_model("smooth", v0=2.5).v0 == pytest.approx(2.5)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown volume model"):
+            make_volume_model("exponential")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    phi=st.floats(0.0, 1.0),
+    phi_sst=st.floats(0.05, 0.6),
+)
+def test_smooth_model_between_linear_bounds(phi, phi_sst):
+    """Property: the smooth model stays within [0.4, 1.0] V0 and is finite."""
+    model = SmoothVolumeModel()
+    value = model.volume(phi, phi_sst)
+    assert 0.4 - 1e-9 <= value <= 1.0 + 1e-9
+    assert np.isfinite(model.derivative(phi, phi_sst))

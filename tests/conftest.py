@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Monte-Carlo kernels are moderately expensive to build, so a couple of
+session-scoped kernels are shared across the tests that only need *a*
+realistic kernel rather than a specific one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.kernel import KernelBuilder, VolumeKernel
+from repro.cellcycle.parameters import CellCycleParameters
+from repro.core.basis import SplineBasis
+from repro.data.synthetic import ftsz_like_profile, single_pulse_profile
+
+
+@pytest.fixture(scope="session")
+def paper_parameters() -> CellCycleParameters:
+    """The paper's default Caulobacter cell-cycle parameters."""
+    return CellCycleParameters()
+
+
+@pytest.fixture(scope="session")
+def measurement_times() -> np.ndarray:
+    """A typical set of measurement times over one average cell cycle."""
+    return np.linspace(0.0, 150.0, 13)
+
+
+@pytest.fixture(scope="session")
+def small_kernel(paper_parameters, measurement_times) -> VolumeKernel:
+    """A modest-resolution kernel shared by tests that just need one."""
+    builder = KernelBuilder(paper_parameters, num_cells=4000, phase_bins=60)
+    return builder.build(measurement_times, rng=12345)
+
+@pytest.fixture(scope="session")
+def fine_kernel(paper_parameters, measurement_times) -> VolumeKernel:
+    """A higher-resolution kernel for accuracy-sensitive tests."""
+    builder = KernelBuilder(paper_parameters, num_cells=12000, phase_bins=80)
+    return builder.build(measurement_times, rng=99)
+
+
+@pytest.fixture(scope="session")
+def basis12() -> SplineBasis:
+    """A twelve-function spline basis."""
+    return SplineBasis(num_basis=12)
+
+
+@pytest.fixture(scope="session")
+def ftsz_truth():
+    """The ftsZ-like ground-truth profile."""
+    return ftsz_like_profile()
+
+
+@pytest.fixture(scope="session")
+def pulse_truth():
+    """A single mid-cycle pulse profile."""
+    return single_pulse_profile(center=0.5, width=0.12, amplitude=2.0, baseline=0.1)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,130 @@
+"""Tests for repro.core.basis (the natural-cubic-spline basis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import SplineBasis
+
+
+class TestConstruction:
+    def test_default_knots_cover_unit_interval(self):
+        basis = SplineBasis(num_basis=10)
+        assert basis.num_basis == 10
+        assert basis.knots[0] == 0.0 and basis.knots[-1] == 1.0
+
+    def test_explicit_knots(self):
+        knots = np.array([0.0, 0.2, 0.5, 0.7, 1.0])
+        basis = SplineBasis(knots=knots)
+        assert basis.num_basis == 5
+
+    def test_explicit_knots_must_span_unit_interval(self):
+        with pytest.raises(ValueError):
+            SplineBasis(knots=np.array([0.1, 0.5, 0.8, 0.9]))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            SplineBasis(num_basis=3)
+
+
+class TestCardinalProperty:
+    def test_basis_is_cardinal_at_knots(self):
+        basis = SplineBasis(num_basis=8)
+        matrix = basis.evaluate(basis.knots)
+        assert np.allclose(matrix, np.eye(8), atol=1e-10)
+
+    def test_partition_of_unity_at_knots(self):
+        """Coefficients of all ones reproduce the constant function exactly at knots."""
+        basis = SplineBasis(num_basis=9)
+        values = basis.profile(np.ones(9), basis.knots)
+        assert np.allclose(values, 1.0, atol=1e-10)
+
+    def test_constant_reproduced_everywhere(self):
+        """The cardinal natural splines sum to one everywhere (constant is a natural spline)."""
+        basis = SplineBasis(num_basis=7)
+        grid = np.linspace(0.0, 1.0, 101)
+        assert np.allclose(basis.evaluate(grid).sum(axis=1), 1.0, atol=1e-10)
+
+    def test_linear_function_reproduced(self):
+        """Linear functions are natural cubic splines, hence exactly representable."""
+        basis = SplineBasis(num_basis=6)
+        coefficients = 2.0 * basis.knots - 0.5
+        grid = np.linspace(0.0, 1.0, 101)
+        assert np.allclose(basis.profile(coefficients, grid), 2.0 * grid - 0.5, atol=1e-10)
+        assert np.allclose(basis.profile_derivative(coefficients, grid), 2.0, atol=1e-8)
+
+
+class TestDerivativesAndPenalty:
+    def test_derivative_matrix_matches_finite_differences(self):
+        basis = SplineBasis(num_basis=8)
+        grid = np.linspace(0.05, 0.95, 19)
+        h = 1e-6
+        numeric = (basis.evaluate(grid + h) - basis.evaluate(grid - h)) / (2 * h)
+        assert np.allclose(basis.evaluate_derivative(grid), numeric, atol=1e-5)
+
+    def test_second_derivative_zero_at_boundaries(self):
+        basis = SplineBasis(num_basis=8)
+        boundary = basis.evaluate_second_derivative(np.array([0.0, 1.0]))
+        assert np.allclose(boundary, 0.0, atol=1e-10)
+
+    def test_penalty_matrix_symmetric_psd(self):
+        basis = SplineBasis(num_basis=10)
+        omega = basis.penalty_matrix()
+        assert np.allclose(omega, omega.T)
+        eigenvalues = np.linalg.eigvalsh(omega)
+        assert eigenvalues.min() > -1e-10
+
+    def test_penalty_null_space_contains_linear_functions(self):
+        basis = SplineBasis(num_basis=9)
+        omega = basis.penalty_matrix()
+        constant = np.ones(9)
+        linear = basis.knots.copy()
+        assert constant @ omega @ constant == pytest.approx(0.0, abs=1e-10)
+        assert linear @ omega @ linear == pytest.approx(0.0, abs=1e-10)
+
+    def test_roughness_helper_matches_penalty(self):
+        basis = SplineBasis(num_basis=7)
+        rng = np.random.default_rng(0)
+        coefficients = rng.normal(size=7)
+        omega = basis.penalty_matrix()
+        assert basis.roughness(coefficients) == pytest.approx(
+            float(coefficients @ omega @ coefficients)
+        )
+
+    def test_penalty_matches_numerical_quadrature(self):
+        basis = SplineBasis(num_basis=6)
+        omega = basis.penalty_matrix()
+        grid = np.linspace(0.0, 1.0, 20001)
+        second = basis.evaluate_second_derivative(grid)
+        numeric = np.trapezoid(second[:, 2] * second[:, 3], grid)
+        assert omega[2, 3] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+
+class TestInterpolationCoefficients:
+    def test_recovers_representable_profile(self):
+        basis = SplineBasis(num_basis=8)
+        target = np.sin(np.pi * basis.knots)
+        grid = np.linspace(0.0, 1.0, 201)
+        coefficients = basis.interpolation_coefficients(grid, basis.profile(target, grid))
+        assert np.allclose(coefficients, target, atol=1e-8)
+
+    def test_wrong_lengths_rejected(self):
+        basis = SplineBasis(num_basis=6)
+        with pytest.raises(ValueError):
+            basis.interpolation_coefficients(np.linspace(0, 1, 10), np.zeros(11))
+        with pytest.raises(ValueError):
+            basis.profile(np.zeros(5), np.linspace(0, 1, 10))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_basis=st.integers(min_value=4, max_value=16),
+    seed=st.integers(0, 999),
+)
+def test_profile_bounded_by_coefficient_range_at_knots(num_basis, seed):
+    """Property: at the knots the profile equals the coefficients exactly."""
+    basis = SplineBasis(num_basis=num_basis)
+    rng = np.random.default_rng(seed)
+    coefficients = rng.uniform(-5, 5, num_basis)
+    assert np.allclose(basis.profile(coefficients, basis.knots), coefficients, atol=1e-9)

@@ -1,0 +1,170 @@
+"""Tests for the Deconvolver facade — end-to-end recovery on known profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import nrmse, pearson_correlation
+from repro.cellcycle.kernel import KernelBuilder
+from repro.core.constraints import default_constraints
+from repro.core.deconvolver import Deconvolver
+from repro.data.noise import GaussianMagnitudeNoise
+from repro.data.synthetic import (
+    double_pulse_profile,
+    ftsz_like_profile,
+    linear_profile,
+    single_pulse_profile,
+)
+
+
+def _recovery_error(kernel, parameters, truth, *, lam=None, noise=None, rng=0, **kwargs):
+    """Forward-convolve ``truth``, optionally add noise, deconvolve and score."""
+    clean = kernel.apply_function(truth)
+    sigma = None
+    values = clean
+    if noise is not None:
+        values = noise.apply(clean, rng)
+        sigma = noise.standard_deviations(clean)
+    deconvolver = Deconvolver(kernel, parameters=parameters, **kwargs)
+    result = deconvolver.fit(kernel.times, values, sigma=sigma, lam=lam)
+    phases = np.linspace(0.0, 1.0, 201)
+    return result, nrmse(result.profile(phases), truth(phases))
+
+
+class TestNoiselessRecovery:
+    @pytest.mark.parametrize(
+        "truth_factory",
+        [
+            lambda: single_pulse_profile(center=0.45, width=0.12, amplitude=2.0, baseline=0.2),
+            lambda: ftsz_like_profile(),
+        ],
+        ids=["pulse", "ftsz"],
+    )
+    def test_recovers_profile_shape(self, fine_kernel, paper_parameters, truth_factory):
+        truth = truth_factory()
+        result, error = _recovery_error(fine_kernel, paper_parameters, truth, lam=1e-4)
+        assert result.solver_converged
+        assert error < 0.15
+
+    def test_ramp_recovers_without_division_constraints(self, fine_kernel, paper_parameters):
+        """A monotone ramp violates RNA conservation across division, so it is only
+        recoverable when the division constraints are dropped."""
+        truth = linear_profile(0.5, 2.0)
+        result, error = _recovery_error(
+            fine_kernel, paper_parameters, truth, lam=1e-4,
+            constraints=default_constraints(rna_conservation=False, rate_continuity=False),
+        )
+        assert result.solver_converged
+        assert error < 0.1
+
+    def test_recovered_profile_is_nonnegative(self, fine_kernel, paper_parameters):
+        truth = single_pulse_profile(center=0.3, width=0.08, amplitude=1.0, baseline=0.0)
+        result, _ = _recovery_error(fine_kernel, paper_parameters, truth, lam=1e-4)
+        # Positivity is enforced on a finite grid, so allow a tiny dip between
+        # constraint points.
+        phases = np.linspace(0, 1, 301)
+        assert np.min(result.profile(phases)) >= -1e-4
+
+    def test_double_pulse_harder_but_correlated(self, fine_kernel, paper_parameters):
+        truth = double_pulse_profile()
+        result, _ = _recovery_error(fine_kernel, paper_parameters, truth, lam=1e-4)
+        phases = np.linspace(0, 1, 201)
+        assert pearson_correlation(result.profile(phases), truth(phases)) > 0.8
+
+    def test_fit_reproduces_measurements(self, fine_kernel, paper_parameters):
+        truth = single_pulse_profile(amplitude=2.0, baseline=0.3)
+        result, _ = _recovery_error(fine_kernel, paper_parameters, truth, lam=1e-5)
+        assert np.max(np.abs(result.residuals)) < 0.05 * np.max(result.measurements)
+
+
+class TestNoisyRecovery:
+    def test_ten_percent_noise_still_recovers_features(self, fine_kernel, paper_parameters):
+        truth = ftsz_like_profile()
+        noise = GaussianMagnitudeNoise(0.10)
+        result, error = _recovery_error(
+            fine_kernel, paper_parameters, truth, lam=None, noise=noise, rng=3
+        )
+        assert error < 0.25
+        phases = np.linspace(0, 1, 201)
+        peak_phase = phases[int(np.argmax(result.profile(phases)))]
+        assert peak_phase == pytest.approx(0.4, abs=0.1)
+
+    def test_smoothing_selected_automatically_under_noise(self, fine_kernel, paper_parameters):
+        truth = single_pulse_profile(amplitude=2.0, baseline=0.2)
+        noise = GaussianMagnitudeNoise(0.10)
+        noisy_result, noisy_error = _recovery_error(
+            fine_kernel, paper_parameters, truth, lam=None, noise=noise, rng=11
+        )
+        assert noisy_result.lam > 0
+        assert noisy_error < 0.3
+
+
+class TestFacadeBehaviour:
+    def test_kernel_built_on_demand(self, paper_parameters):
+        times = np.linspace(0.0, 150.0, 8)
+        builder = KernelBuilder(paper_parameters, num_cells=1500, phase_bins=40)
+        deconvolver = Deconvolver(parameters=paper_parameters, kernel_builder=builder, num_basis=8)
+        truth = single_pulse_profile(amplitude=1.0, baseline=0.2)
+        kernel = deconvolver.ensure_kernel(times, rng=0)
+        values = kernel.apply_function(truth)
+        result = deconvolver.fit(times, values, lam=1e-3)
+        assert result.solver_converged
+        assert deconvolver.kernel is kernel
+
+    def test_mismatched_kernel_times_rejected(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters)
+        wrong_times = small_kernel.times + 1.0
+        with pytest.raises(ValueError):
+            deconvolver.fit(wrong_times, np.ones_like(wrong_times), lam=1e-3)
+
+    def test_fit_many_shares_kernel(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        profiles = [
+            single_pulse_profile(center=0.3, amplitude=1.0, baseline=0.1),
+            single_pulse_profile(center=0.6, amplitude=2.0, baseline=0.1),
+        ]
+        matrix = np.column_stack([small_kernel.apply_function(p) for p in profiles])
+        results = deconvolver.fit_many(small_kernel.times, matrix, lam=1e-3)
+        assert len(results) == 2
+        assert results[0].profile(0.3) > results[0].profile(0.8)
+
+    def test_fit_many_requires_matrix(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters)
+        with pytest.raises(ValueError):
+            deconvolver.fit_many(small_kernel.times, np.ones(small_kernel.num_measurements))
+
+    def test_constraint_violations_reported_near_zero(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        truth = single_pulse_profile(amplitude=1.5, baseline=0.2)
+        values = small_kernel.apply_function(truth)
+        result = deconvolver.fit(small_kernel.times, values, lam=1e-3)
+        assert result.constraint_violations["equality"] < 1e-6
+        assert result.constraint_violations["inequality"] < 1e-6
+
+    def test_lambda_methods(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        truth = single_pulse_profile(amplitude=1.5, baseline=0.2)
+        values = small_kernel.apply_function(truth)
+        gcv = deconvolver.fit(small_kernel.times, values, lambda_method="gcv")
+        kfold = deconvolver.fit(
+            small_kernel.times, values, lambda_method="kfold",
+            lambda_grid=np.array([1e-4, 1e-2, 1.0]),
+        )
+        assert gcv.lambda_path and kfold.lambda_path
+        assert gcv.lam > 0 and kfold.lam > 0
+
+    def test_constraints_matter_for_negative_artifacts(self, small_kernel, paper_parameters):
+        """Without positivity the estimate can dip negative; with it, it cannot."""
+        truth = ftsz_like_profile(baseline=0.0)
+        values = GaussianMagnitudeNoise(0.1).apply(small_kernel.apply_function(truth), 5)
+        phases = np.linspace(0, 1, 301)
+        unconstrained = Deconvolver(
+            small_kernel, parameters=paper_parameters, num_basis=12, constraints=[]
+        ).fit(small_kernel.times, values, lam=1e-5)
+        constrained = Deconvolver(
+            small_kernel, parameters=paper_parameters, num_basis=12,
+            constraints=default_constraints(),
+        ).fit(small_kernel.times, values, lam=1e-5)
+        # Positivity is enforced on a 201-point grid; between grid points a dip
+        # of order 1e-3 (0.01% of the profile amplitude) can remain.
+        assert np.min(constrained.profile(phases)) >= -5e-3
+        assert np.min(constrained.profile(phases)) >= np.min(unconstrained.profile(phases)) - 1e-9

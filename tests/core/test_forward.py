@@ -1,0 +1,65 @@
+"""Tests for repro.core.forward."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import SplineBasis
+from repro.core.forward import ForwardModel, convolve_profile
+from repro.data.synthetic import constant_profile, single_pulse_profile
+
+
+class TestConvolveProfile:
+    def test_callable_and_array_agree(self, small_kernel):
+        profile = single_pulse_profile()
+        from_callable = convolve_profile(small_kernel, profile)
+        from_samples = convolve_profile(small_kernel, profile(small_kernel.phase_centers))
+        assert np.allclose(from_callable, from_samples)
+
+    def test_constant_profile_passthrough(self, small_kernel):
+        values = convolve_profile(small_kernel, constant_profile(2.0))
+        assert np.allclose(values, 2.0, atol=1e-9)
+
+    def test_population_is_smoother_than_single_cell(self, small_kernel):
+        """Asynchronous averaging reduces the dynamic range of a sharp pulse."""
+        pulse = single_pulse_profile(center=0.5, width=0.06, amplitude=5.0, baseline=0.1)
+        population = convolve_profile(small_kernel, pulse)
+        assert population.max() - population.min() < pulse.values.max() - pulse.values.min()
+
+
+class TestForwardModel:
+    @pytest.fixture(scope="class")
+    def forward(self, small_kernel):
+        return ForwardModel(small_kernel, SplineBasis(num_basis=10))
+
+    def test_design_matrix_shape(self, forward, small_kernel):
+        assert forward.design_matrix.shape == (small_kernel.num_measurements, 10)
+        assert forward.num_measurements == small_kernel.num_measurements
+        assert forward.num_coefficients == 10
+
+    def test_predict_linear_in_coefficients(self, forward):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=10)
+        b = rng.normal(size=10)
+        combined = forward.predict(a) + 2.0 * forward.predict(b)
+        assert np.allclose(combined, forward.predict(a + 2.0 * b))
+
+    def test_predict_constant_profile(self, forward):
+        """Coefficients of all ones represent f == 1, so G == 1 at every time."""
+        assert np.allclose(forward.predict(np.ones(10)), 1.0, atol=1e-6)
+
+    def test_predict_matches_kernel_apply(self, forward, small_kernel):
+        rng = np.random.default_rng(1)
+        coefficients = rng.uniform(0, 1, 10)
+        profile_values = forward.basis.profile(coefficients, small_kernel.phase_centers)
+        assert np.allclose(forward.predict(coefficients), small_kernel.apply(profile_values))
+
+    def test_predict_rejects_wrong_length(self, forward):
+        with pytest.raises(ValueError):
+            forward.predict(np.ones(11))
+
+    def test_restrict(self, forward):
+        subset = forward.restrict(np.array([0, 3, 5]))
+        assert subset.design_matrix.shape[0] == 3
+        rng = np.random.default_rng(2)
+        coefficients = rng.normal(size=10)
+        assert np.allclose(subset.predict(coefficients), forward.predict(coefficients)[[0, 3, 5]])

@@ -1,0 +1,55 @@
+"""Tests for repro.data.io (CSV persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    load_profile_csv,
+    load_timeseries_csv,
+    save_profile_csv,
+    save_timeseries_csv,
+)
+from repro.data.synthetic import single_pulse_profile
+from repro.data.timeseries import ExpressionTimeSeries
+
+
+class TestTimeSeriesRoundTrip:
+    def test_round_trip_without_sigma(self, tmp_path):
+        series = ExpressionTimeSeries(np.linspace(0, 150, 6), np.arange(6.0), name="geneA")
+        path = save_timeseries_csv(series, tmp_path / "series.csv")
+        loaded = load_timeseries_csv(path)
+        assert np.allclose(loaded.times, series.times)
+        assert np.allclose(loaded.values, series.values)
+        assert loaded.sigma is None
+        assert loaded.name == "series"
+
+    def test_round_trip_with_sigma_and_name(self, tmp_path):
+        series = ExpressionTimeSeries(
+            np.linspace(0, 30, 4), np.array([1.0, 2.0, 3.0, 2.5]), sigma=np.full(4, 0.1)
+        )
+        path = save_timeseries_csv(series, tmp_path / "noisy.csv")
+        loaded = load_timeseries_csv(path, name="ftsZ")
+        assert loaded.name == "ftsZ"
+        assert np.allclose(loaded.sigma, 0.1)
+
+    def test_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "foreign.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_timeseries_csv(path)
+
+
+class TestProfileRoundTrip:
+    def test_round_trip(self, tmp_path):
+        profile = single_pulse_profile(num_points=51)
+        path = save_profile_csv(profile, tmp_path / "profile.csv")
+        loaded = load_profile_csv(path, name="pulse")
+        assert np.allclose(loaded.phases, profile.phases)
+        assert np.allclose(loaded.values, profile.values)
+        assert loaded.name == "pulse"
+
+    def test_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "foreign.csv"
+        path.write_text("x,y\n0,1\n")
+        with pytest.raises(ValueError):
+            load_profile_csv(path)

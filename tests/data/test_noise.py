@@ -1,0 +1,110 @@
+"""Tests for repro.data.noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.noise import (
+    GaussianAdditiveNoise,
+    GaussianMagnitudeNoise,
+    GaussianProportionalNoise,
+    LogNormalNoise,
+    make_noise_model,
+)
+
+
+class TestStandardDeviations:
+    def test_additive_constant_sigma(self):
+        noise = GaussianAdditiveNoise(0.5)
+        assert np.allclose(noise.standard_deviations(np.array([1.0, 10.0])), 0.5)
+
+    def test_proportional_scales_with_each_point(self):
+        noise = GaussianProportionalNoise(0.1)
+        sigma = noise.standard_deviations(np.array([1.0, 10.0]))
+        assert np.allclose(sigma, [0.1, 1.0])
+
+    def test_proportional_floor(self):
+        noise = GaussianProportionalNoise(0.1, floor=2.0)
+        sigma = noise.standard_deviations(np.array([0.0, 10.0]))
+        assert np.allclose(sigma, [0.2, 1.0])
+
+    def test_magnitude_uses_series_maximum(self):
+        noise = GaussianMagnitudeNoise(0.1)
+        sigma = noise.standard_deviations(np.array([1.0, -10.0, 5.0]))
+        assert np.allclose(sigma, 1.0)
+
+    def test_lognormal_first_order_sigma(self):
+        noise = LogNormalNoise(0.2)
+        assert np.allclose(noise.standard_deviations(np.array([5.0])), 1.0)
+
+
+class TestApply:
+    def test_additive_statistics(self):
+        noise = GaussianAdditiveNoise(0.3)
+        values = np.full(20_000, 2.0)
+        noisy = noise.apply(values, rng=0)
+        assert np.mean(noisy) == pytest.approx(2.0, abs=0.01)
+        assert np.std(noisy) == pytest.approx(0.3, rel=0.05)
+
+    def test_magnitude_statistics_match_paper_recipe(self):
+        """Ten percent of the data magnitude, as in the paper's Figure 3."""
+        values = np.linspace(0.0, 10.0, 10_000)
+        noise = GaussianMagnitudeNoise(0.10)
+        noisy = noise.apply(values, rng=1)
+        residual = noisy - values
+        assert np.std(residual) == pytest.approx(1.0, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        noise = GaussianProportionalNoise(0.2)
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(noise.apply(values, rng=9), noise.apply(values, rng=9))
+
+    def test_lognormal_preserves_positivity(self):
+        noise = LogNormalNoise(0.5)
+        noisy = noise.apply(np.full(1000, 3.0), rng=2)
+        assert np.all(noisy > 0)
+
+    def test_lognormal_rejects_negative_data(self):
+        with pytest.raises(ValueError):
+            LogNormalNoise(0.2).apply(np.array([-1.0, 1.0]), rng=0)
+
+    def test_zero_magnitude_series_handled(self):
+        noise = GaussianMagnitudeNoise(0.1)
+        sigma = noise.standard_deviations(np.zeros(4))
+        assert np.all(sigma > 0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("gaussian_additive", GaussianAdditiveNoise),
+            ("gaussian_proportional", GaussianProportionalNoise),
+            ("gaussian_magnitude", GaussianMagnitudeNoise),
+            ("lognormal", LogNormalNoise),
+        ],
+    )
+    def test_known_models(self, name, cls):
+        assert isinstance(make_noise_model(name, 0.1), cls)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            make_noise_model("poisson", 0.1)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            GaussianAdditiveNoise(0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fraction=st.floats(0.01, 0.5),
+    seed=st.integers(0, 1000),
+)
+def test_noise_bias_is_small(fraction, seed):
+    """Property: all Gaussian noise models are unbiased."""
+    values = np.linspace(1.0, 5.0, 2000)
+    noise = GaussianProportionalNoise(fraction)
+    noisy = noise.apply(values, rng=seed)
+    assert np.mean(noisy - values) == pytest.approx(0.0, abs=0.25 * fraction * 5.0)

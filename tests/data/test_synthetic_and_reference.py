@@ -1,0 +1,131 @@
+"""Tests for synthetic gene profiles and the reference datasets."""
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.celltypes import CellType
+from repro.data.judd2003 import JUDD_TIMES_MINUTES, judd_reference_distribution
+from repro.data.mcgrath2007 import ftsz_population_dataset
+from repro.data.synthetic import (
+    constant_profile,
+    double_pulse_profile,
+    ftsz_like_profile,
+    linear_profile,
+    single_pulse_profile,
+)
+
+
+class TestSyntheticProfiles:
+    def test_constant(self):
+        profile = constant_profile(2.5)
+        assert np.allclose(profile.values, 2.5)
+
+    def test_linear(self):
+        profile = linear_profile(1.0, 3.0)
+        assert profile(0.0) == pytest.approx(1.0)
+        assert profile(1.0) == pytest.approx(3.0)
+
+    def test_single_pulse_peak_location(self):
+        profile = single_pulse_profile(center=0.6, width=0.1, amplitude=2.0, baseline=0.1)
+        assert profile.peak_phase() == pytest.approx(0.6, abs=0.01)
+        assert profile.values.max() == pytest.approx(2.1, abs=0.01)
+
+    def test_double_pulse_has_two_local_maxima(self):
+        profile = double_pulse_profile()
+        values = profile.values
+        interior = (values[1:-1] > values[:-2]) & (values[1:-1] > values[2:])
+        assert np.count_nonzero(interior) >= 2
+
+    def test_all_profiles_nonnegative(self):
+        for profile in (
+            constant_profile(),
+            single_pulse_profile(),
+            double_pulse_profile(),
+            ftsz_like_profile(),
+        ):
+            assert np.all(profile.values >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            single_pulse_profile(center=1.5)
+        with pytest.raises(ValueError):
+            ftsz_like_profile(onset=0.5, peak=0.3)
+
+
+class TestFtsZProfile:
+    def test_delay_before_onset(self):
+        profile = ftsz_like_profile(onset=0.15, baseline=0.1)
+        early = profile(np.linspace(0.0, 0.14, 20))
+        assert np.allclose(early, 0.1, atol=1e-9)
+
+    def test_peak_at_requested_phase(self):
+        profile = ftsz_like_profile(onset=0.15, peak=0.4, amplitude=10.0)
+        assert profile.peak_phase() == pytest.approx(0.4, abs=0.01)
+        assert profile.values.max() == pytest.approx(10.1, abs=0.05)
+
+    def test_monotone_decline_after_peak(self):
+        profile = ftsz_like_profile()
+        peak_index = int(np.argmax(profile.values))
+        tail = profile.values[peak_index:]
+        assert np.all(np.diff(tail) <= 1e-12)
+
+
+class TestJuddReference:
+    def test_times_and_types(self):
+        distribution = judd_reference_distribution()
+        assert np.allclose(distribution.times, JUDD_TIMES_MINUTES)
+        assert set(distribution.fractions) == set(CellType.ordered())
+
+    def test_fractions_normalised(self):
+        distribution = judd_reference_distribution()
+        assert distribution.check_normalised(tol=1e-9)
+
+    def test_qualitative_shape(self):
+        """Stalked cells dominate early; swarmers reappear by 150 minutes."""
+        distribution = judd_reference_distribution()
+        assert distribution.fractions[CellType.STE][0] > 0.5
+        assert distribution.fractions[CellType.SW][0] < 0.1
+        assert distribution.fractions[CellType.SW][-1] > 0.2
+
+    def test_returns_copies(self):
+        a = judd_reference_distribution()
+        a.fractions[CellType.SW][0] = 99.0
+        b = judd_reference_distribution()
+        assert b.fractions[CellType.SW][0] != 99.0
+
+
+class TestFtsZDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return ftsz_population_dataset(num_times=10, num_cells=2000, phase_bins=50, rng=1)
+
+    def test_components_consistent(self, dataset):
+        assert dataset.series.num_measurements == 10
+        assert dataset.noiseless.num_measurements == 10
+        assert dataset.kernel.num_measurements == 10
+        assert dataset.series.sigma is not None
+
+    def test_noise_level_matches_request(self, dataset):
+        residual = dataset.series.values - dataset.noiseless.values
+        assert np.std(residual) < 3 * dataset.series.sigma.max()
+        assert np.any(residual != 0.0)
+
+    def test_noiseless_option(self):
+        clean = ftsz_population_dataset(
+            num_times=6, num_cells=1000, phase_bins=40, noise_fraction=0.0, rng=2
+        )
+        assert clean.series.sigma is None
+        assert np.allclose(clean.series.values, clean.noiseless.values)
+
+    def test_truth_has_delayed_onset(self, dataset):
+        assert dataset.truth(0.05) == pytest.approx(0.1, abs=1e-6)
+        assert dataset.truth(0.4) > 5.0
+
+    def test_deterministic_for_seed(self):
+        a = ftsz_population_dataset(num_times=6, num_cells=800, phase_bins=40, rng=7)
+        b = ftsz_population_dataset(num_times=6, num_cells=800, phase_bins=40, rng=7)
+        assert np.allclose(a.series.values, b.series.values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ftsz_population_dataset(num_times=2)

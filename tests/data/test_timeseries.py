@@ -1,0 +1,84 @@
+"""Tests for repro.data.timeseries containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import ExpressionTimeSeries, PhaseProfile
+
+
+class TestPhaseProfile:
+    def test_construction_and_call(self):
+        phases = np.linspace(0, 1, 11)
+        profile = PhaseProfile(phases, phases**2, name="quadratic")
+        assert profile(0.5) == pytest.approx(0.25, abs=0.01)
+        assert profile.name == "quadratic"
+
+    def test_vector_evaluation(self):
+        profile = PhaseProfile(np.linspace(0, 1, 5), np.arange(5.0))
+        values = profile(np.array([0.0, 0.5, 1.0]))
+        assert values.shape == (3,)
+        assert values[0] == 0.0 and values[-1] == 4.0
+
+    def test_from_callable(self):
+        profile = PhaseProfile.from_callable(lambda p: np.sin(np.pi * p), num_points=101)
+        assert profile(0.5) == pytest.approx(1.0, abs=1e-3)
+
+    def test_mean_matches_integral(self):
+        profile = PhaseProfile.from_callable(lambda p: 2.0 * p, num_points=1001)
+        assert profile.mean() == pytest.approx(1.0, abs=1e-4)
+
+    def test_peak_phase(self):
+        profile = PhaseProfile.from_callable(lambda p: np.exp(-((p - 0.3) ** 2) / 0.01))
+        assert profile.peak_phase() == pytest.approx(0.3, abs=0.01)
+
+    def test_rescale(self):
+        profile = PhaseProfile.from_callable(lambda p: p)
+        doubled = profile.rescale(2.0)
+        assert doubled(0.5) == pytest.approx(1.0, abs=1e-6)
+
+    def test_to_time(self):
+        profile = PhaseProfile.from_callable(lambda p: p, num_points=11)
+        times, values = profile.to_time(150.0)
+        assert times[-1] == pytest.approx(150.0)
+        assert np.allclose(values, profile.values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseProfile(np.array([0.0, 0.5, 1.5]), np.zeros(3))
+        with pytest.raises(ValueError):
+            PhaseProfile(np.array([0.0, 0.5, 1.0]), np.zeros(2))
+        with pytest.raises(ValueError):
+            PhaseProfile(np.array([0.5, 0.2, 1.0]), np.zeros(3))
+
+
+class TestExpressionTimeSeries:
+    def test_construction(self):
+        series = ExpressionTimeSeries(np.array([0.0, 10.0]), np.array([1.0, 2.0]), name="geneA")
+        assert series.num_measurements == 2
+        assert series.magnitude() == pytest.approx(2.0)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            ExpressionTimeSeries(np.array([0.0, 1.0]), np.ones(2), sigma=np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            ExpressionTimeSeries(np.array([0.0, 1.0]), np.ones(2), sigma=np.ones(3))
+
+    def test_times_must_increase(self):
+        with pytest.raises(ValueError):
+            ExpressionTimeSeries(np.array([10.0, 0.0]), np.ones(2))
+
+    def test_with_values(self):
+        series = ExpressionTimeSeries(np.array([0.0, 10.0]), np.array([1.0, 2.0]), metadata={"k": 1})
+        noisy = series.with_values(np.array([1.5, 2.5]), name="noisy")
+        assert noisy.name == "noisy"
+        assert noisy.metadata == {"k": 1}
+        assert np.allclose(series.values, [1.0, 2.0])  # original untouched
+
+    def test_subsample(self):
+        series = ExpressionTimeSeries(
+            np.linspace(0, 30, 4), np.arange(4.0), sigma=np.ones(4)
+        )
+        subset = series.subsample(np.array([0, 2]))
+        assert subset.num_measurements == 2
+        assert np.allclose(subset.times, [0.0, 20.0])
+        assert subset.sigma.shape == (2,)

@@ -1,0 +1,120 @@
+"""Tests for the single-cell ODE models (Lotka-Volterra, Goodwin, repressilator)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.base import ODEModel
+from repro.dynamics.goodwin import GoodwinOscillator
+from repro.dynamics.lotka_volterra import LotkaVolterraModel
+from repro.dynamics.repressilator import Repressilator
+
+
+class TestLotkaVolterra:
+    def test_equilibrium_is_stationary(self):
+        model = LotkaVolterraModel(a=1.0, b=0.5, c=0.5, d=1.0)
+        derivative = model.rhs(0.0, model.equilibrium)
+        assert np.allclose(derivative, 0.0, atol=1e-12)
+
+    def test_conserved_quantity_along_trajectory(self):
+        model = LotkaVolterraModel(a=0.8, b=0.4, c=0.6, d=0.5, x1_0=0.4, x2_0=1.0)
+        solution = model.simulate(60.0, num_points=1201)
+        invariants = [model.conserved_quantity(state) for state in solution.states]
+        assert np.max(np.abs(np.asarray(invariants) - invariants[0])) < 1e-4
+
+    def test_positive_states_preserved(self):
+        model = LotkaVolterraModel.paper_oscillator()
+        solution = model.simulate(400.0, num_points=2001)
+        assert np.all(solution.states > 0)
+
+    def test_rate_scaling_preserves_orbit_shape(self):
+        base = LotkaVolterraModel(a=1.0, b=0.4, c=0.8, d=0.5, x1_0=0.25, x2_0=1.0)
+        scaled = base.with_rates_scaled(0.5)
+        base_solution = base.simulate(20.0, num_points=401)
+        scaled_solution = scaled.simulate(40.0, num_points=401)
+        # Same orbit traversed at half speed.
+        assert np.allclose(base_solution.states, scaled_solution.states, atol=1e-3)
+
+    def test_paper_oscillator_has_150_minute_period(self):
+        from repro.dynamics.tuning import estimate_period
+
+        model = LotkaVolterraModel.paper_oscillator()
+        assert estimate_period(model) == pytest.approx(150.0, rel=0.01)
+
+    def test_species_lookup(self):
+        model = LotkaVolterraModel()
+        assert model.species_index("x2") == 1
+        assert model.num_species == 2
+        with pytest.raises(KeyError):
+            model.species_index("x3")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LotkaVolterraModel(a=-1.0)
+        with pytest.raises(ValueError):
+            LotkaVolterraModel(x1_0=0.0)
+
+
+class TestGoodwin:
+    def test_oscillates_with_steep_hill(self):
+        model = GoodwinOscillator()
+        solution = model.simulate(600.0, num_points=3001)
+        tail = solution.states[1500:, 0]
+        assert tail.max() - tail.min() > 0.1 * tail.mean()
+
+    def test_states_remain_positive(self):
+        model = GoodwinOscillator()
+        solution = model.simulate(400.0, num_points=2001)
+        assert np.all(solution.states > -1e-9)
+
+    def test_rate_scaling(self):
+        model = GoodwinOscillator()
+        scaled = model.with_rates_scaled(2.0)
+        assert scaled.a == pytest.approx(2.0 * model.a)
+        assert scaled.n == model.n
+
+
+class TestRepressilator:
+    def test_six_species(self):
+        model = Repressilator()
+        assert model.num_species == 6
+        assert model.default_initial_state().shape == (6,)
+
+    def test_sustained_oscillation(self):
+        model = Repressilator()
+        solution = model.simulate(400.0, num_points=2001)
+        protein = solution.states[1000:, 1]
+        assert protein.max() > 2.0 * protein.min() + 1.0
+
+    def test_symmetric_under_gene_relabelling(self):
+        """The three genes are equivalent, so their long-run ranges match."""
+        model = Repressilator()
+        solution = model.simulate(900.0, num_points=4501)
+        tails = [solution.states[3000:, 2 * i] for i in range(3)]
+        ranges = [tail.max() - tail.min() for tail in tails]
+        assert max(ranges) < 1.5 * min(ranges)
+
+    def test_rate_scale_speeds_up_dynamics(self):
+        from repro.dynamics.tuning import estimate_period
+
+        slow = Repressilator(rate_scale=1.0)
+        fast = Repressilator(rate_scale=2.0)
+        slow_period = estimate_period(slow, species=1, t_max=600.0)
+        fast_period = estimate_period(fast, species=1, t_max=600.0)
+        assert fast_period == pytest.approx(slow_period / 2.0, rel=0.05)
+
+
+class TestBaseSimulate:
+    def test_rk4_and_rk45_agree(self):
+        model = LotkaVolterraModel.paper_oscillator()
+        rk4 = model.simulate(150.0, num_points=301, method="rk4")
+        rk45 = model.simulate(150.0, num_points=301, method="rk45")
+        assert np.allclose(rk4.states, rk45.states, atol=5e-3)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            LotkaVolterraModel().simulate(10.0, method="euler")
+
+    def test_custom_initial_state(self):
+        model = LotkaVolterraModel()
+        solution = model.simulate(10.0, num_points=11, initial_state=[1.0, 2.0])
+        assert np.allclose(solution.states[0], [1.0, 2.0])

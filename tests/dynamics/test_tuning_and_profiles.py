@@ -1,0 +1,109 @@
+"""Tests for period estimation, period tuning and phase-profile extraction."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import PhaseProfile
+from repro.dynamics.goodwin import GoodwinOscillator
+from repro.dynamics.lotka_volterra import LotkaVolterraModel
+from repro.dynamics.phase_profiles import extract_phase_profiles
+from repro.dynamics.tuning import estimate_period, scale_to_period, tune_to_period
+
+
+class TestEstimatePeriod:
+    def test_known_harmonic_period(self):
+        """A pure harmonic oscillator disguised as an ODEModel has period 2*pi/omega."""
+
+        class Harmonic(LotkaVolterraModel):
+            def rhs(self, t, state):
+                return np.array([state[1], -0.04 * state[0]])
+
+            def default_initial_state(self):
+                return np.array([1.0, 0.0])
+
+        period = estimate_period(Harmonic(), t_max=400.0)
+        assert period == pytest.approx(2 * np.pi / 0.2, rel=0.01)
+
+    def test_lotka_volterra_period_scales_inversely_with_rates(self):
+        base = LotkaVolterraModel(a=1.0, b=0.4, c=0.8, d=0.5, x1_0=0.25, x2_0=1.0)
+        period = estimate_period(base, t_max=200.0)
+        doubled = estimate_period(base.with_rates_scaled(2.0), t_max=200.0)
+        assert doubled == pytest.approx(period / 2.0, rel=0.02)
+
+    def test_needs_enough_cycles(self):
+        model = LotkaVolterraModel.paper_oscillator()  # 150-minute period
+        with pytest.raises(RuntimeError):
+            estimate_period(model, t_max=200.0)  # barely one cycle
+
+
+class TestTuning:
+    def test_scale_to_period(self):
+        base = LotkaVolterraModel(a=1.0, b=0.4, c=0.8, d=0.5, x1_0=0.25, x2_0=1.0)
+        measured = estimate_period(base, t_max=200.0)
+        tuned = scale_to_period(base, measured, 150.0)
+        assert estimate_period(tuned) == pytest.approx(150.0, rel=0.01)
+
+    def test_tune_to_period_goodwin(self):
+        tuned = tune_to_period(GoodwinOscillator(), 150.0, t_max=4000.0)
+        assert estimate_period(tuned, t_max=2000.0) == pytest.approx(150.0, rel=0.02)
+
+    def test_scale_requires_support(self):
+        class NoScaling(LotkaVolterraModel):
+            with_rates_scaled = None
+
+        model = NoScaling()
+        model.with_rates_scaled = None
+        with pytest.raises(TypeError):
+            scale_to_period(model, 100.0, 50.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            tune_to_period(LotkaVolterraModel(), -10.0)
+
+
+class TestExtractPhaseProfiles:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return LotkaVolterraModel.paper_oscillator()
+
+    def test_profiles_for_all_species(self, model):
+        profiles = extract_phase_profiles(model, 150.0, num_points=201)
+        assert set(profiles) == {"x1", "x2"}
+        for profile in profiles.values():
+            assert isinstance(profile, PhaseProfile)
+            assert profile.phases[0] == 0.0 and profile.phases[-1] == 1.0
+
+    def test_profile_matches_direct_simulation(self, model):
+        profiles = extract_phase_profiles(model, 150.0, num_points=301)
+        solution = model.simulate(150.0, num_points=301)
+        assert np.allclose(profiles["x1"].values, solution.states[:, 0], atol=1e-6)
+
+    def test_periodicity_of_limit_cycle(self, model):
+        """After one full period the state returns close to its start."""
+        profiles = extract_phase_profiles(model, 150.0, num_points=401)
+        for profile in profiles.values():
+            scale = profile.values.max() - profile.values.min()
+            assert abs(profile.values[0] - profile.values[-1]) < 0.05 * scale
+
+    def test_transient_periods_discarded(self, model):
+        with_transient = extract_phase_profiles(model, 150.0, num_points=101, transient_periods=1)
+        without = extract_phase_profiles(model, 150.0, num_points=101)
+        # The Lotka-Volterra orbit is closed, so one period later the cycle repeats.
+        assert np.allclose(with_transient["x1"].values, without["x1"].values, atol=0.05)
+
+    def test_align_to_minimum(self, model):
+        aligned = extract_phase_profiles(model, 150.0, num_points=201, align_to_minimum=True)
+        values = aligned["x1"].values
+        assert int(np.argmin(values[:-1])) == 0
+
+    def test_species_subset(self, model):
+        profiles = extract_phase_profiles(model, 150.0, species=("x2",))
+        assert list(profiles) == ["x2"]
+
+    def test_invalid_arguments(self, model):
+        with pytest.raises(ValueError):
+            extract_phase_profiles(model, -1.0)
+        with pytest.raises(ValueError):
+            extract_phase_profiles(model, 150.0, num_points=2)
+        with pytest.raises(ValueError):
+            extract_phase_profiles(model, 150.0, transient_periods=-1)

@@ -1,0 +1,113 @@
+"""Tests for repro.estimation (objectives and Nelder-Mead fitting)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.lotka_volterra import LotkaVolterraModel
+from repro.estimation.fitting import fit_parameters
+from repro.estimation.objectives import TimeSeriesObjective, model_time_series
+
+
+def lv_factory(parameters):
+    a, b, c, d = parameters
+    return LotkaVolterraModel(a=a, b=b, c=c, d=d, x1_0=0.25, x2_0=1.0)
+
+
+TRUE_PARAMS = np.array([0.8, 0.4, 0.6, 0.5])
+
+
+@pytest.fixture(scope="module")
+def target_data():
+    model = lv_factory(TRUE_PARAMS)
+    times = np.linspace(0.0, 30.0, 31)
+    targets = model_time_series(model, times, ("x1", "x2"))
+    return times, targets
+
+
+class TestModelTimeSeries:
+    def test_shape_and_species_selection(self):
+        model = lv_factory(TRUE_PARAMS)
+        times = np.linspace(0.0, 10.0, 11)
+        both = model_time_series(model, times, ("x1", "x2"))
+        only_x2 = model_time_series(model, times, ("x2",))
+        assert both.shape == (11, 2)
+        assert only_x2.shape == (11, 1)
+        assert np.allclose(both[:, 1], only_x2[:, 0])
+
+    def test_initial_values(self):
+        model = lv_factory(TRUE_PARAMS)
+        series = model_time_series(model, np.array([0.0, 5.0]), ("x1", "x2"))
+        assert np.allclose(series[0], [0.25, 1.0])
+
+    def test_negative_times_rejected(self):
+        model = lv_factory(TRUE_PARAMS)
+        with pytest.raises(ValueError):
+            model_time_series(model, np.array([-1.0, 1.0]))
+
+
+class TestTimeSeriesObjective:
+    def test_zero_at_true_parameters(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        assert objective(TRUE_PARAMS) == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive_away_from_truth(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        assert objective(TRUE_PARAMS * 1.3) > 1e-3
+
+    def test_penalty_for_invalid_parameters(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        assert objective(np.array([-1.0, 0.4, 0.6, 0.5])) == objective.penalty
+
+    def test_counts_evaluations(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        objective(TRUE_PARAMS)
+        objective(TRUE_PARAMS * 1.1)
+        assert objective.evaluations == 2
+
+    def test_shape_validation(self, target_data):
+        times, targets = target_data
+        with pytest.raises(ValueError):
+            TimeSeriesObjective(lv_factory, times, targets, ("x1",))
+        with pytest.raises(ValueError):
+            TimeSeriesObjective(lv_factory, times[:-1], targets, ("x1", "x2"))
+
+
+class TestFitParameters:
+    def test_recovers_true_rates_from_clean_data(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        result = fit_parameters(
+            objective,
+            TRUE_PARAMS * 1.25,
+            true_parameters=TRUE_PARAMS,
+            max_iterations=800,
+        )
+        assert result.mean_relative_error < 0.05
+
+    def test_log_space_requires_positive_guess(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        with pytest.raises(ValueError):
+            fit_parameters(objective, np.array([1.0, -1.0, 1.0, 1.0]))
+
+    def test_relative_errors_need_matching_truth(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        with pytest.raises(ValueError):
+            fit_parameters(objective, TRUE_PARAMS, true_parameters=np.ones(3), max_iterations=5)
+
+    def test_without_truth_errors_empty(self, target_data):
+        times, targets = target_data
+        objective = TimeSeriesObjective(lv_factory, times, targets, ("x1", "x2"))
+        result = fit_parameters(objective, TRUE_PARAMS, max_iterations=5)
+        assert result.relative_errors.size == 0
+        assert np.isnan(result.mean_relative_error)
+
+    def test_linear_space_fit(self):
+        quadratic = lambda p: float(np.sum((p - np.array([0.3, -0.7])) ** 2))
+        result = fit_parameters(quadratic, np.zeros(2), log_space=False)
+        assert np.allclose(result.parameters, [0.3, -0.7], atol=1e-3)

@@ -1,0 +1,80 @@
+"""Integration tests for the ablation drivers and the reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_constraint_ablation,
+    run_kernel_convergence_study,
+    run_lambda_ablation,
+    run_volume_model_ablation,
+)
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestVolumeAblation:
+    def test_all_models_recover_reasonably(self):
+        scores = run_volume_model_ablation(
+            num_cells=2500, phase_bins=50, num_times=12, lam=1e-3, rng=1
+        )
+        assert set(scores) == {"linear", "piecewise_linear", "smooth"}
+        for score in scores.values():
+            assert score < 0.4
+
+
+class TestConstraintAblation:
+    def test_configurations_and_positivity_effect(self):
+        scores = run_constraint_ablation(
+            num_cells=2500, phase_bins=50, num_times=12, lam=1e-3, noise_fraction=0.08, rng=2
+        )
+        assert set(scores) == {"none", "positivity_only", "no_rate_continuity", "full"}
+        # With positivity enforced the estimate cannot dip (appreciably) negative.
+        assert scores["full"]["negativity"] >= -5e-3
+        assert scores["positivity_only"]["negativity"] >= -5e-3
+        # The unconstrained configuration is allowed to dip negative (and with
+        # noise it typically does at least slightly).
+        assert scores["none"]["negativity"] <= 0.0
+        for metrics in scores.values():
+            assert metrics["nrmse"] < 0.5
+
+
+class TestLambdaAblation:
+    def test_sweep_and_automatic_choices(self):
+        scores = run_lambda_ablation(
+            num_cells=2500, phase_bins=50, num_times=12, noise_fraction=0.1, rng=3,
+            lambdas=np.array([1e-4, 1e-2, 1e0]),
+        )
+        assert "gcv" in scores and "kfold" in scores
+        sweep_scores = [v for k, v in scores.items() if k.startswith("lambda=")]
+        assert len(sweep_scores) == 3
+        # The automatic selectors should be competitive with the best fixed lambda.
+        assert scores["gcv"] <= 2.0 * min(sweep_scores) + 0.05
+
+
+class TestKernelConvergence:
+    def test_error_decreases_with_population_size(self):
+        scores = run_kernel_convergence_study(
+            cell_counts=(200, 2000), reference_cells=10_000, phase_bins=50, num_times=4, rng=4
+        )
+        assert scores[2000] < scores[200]
+
+
+class TestReporting:
+    def test_format_table_alignment_and_rows(self):
+        text = format_table(["name", "value"], [["alpha", 1.23456], ["b", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "alpha" in lines[2]
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_format_series_subsamples(self):
+        x = np.linspace(0, 1, 1000)
+        text = format_series("curve", x, x**2, max_points=10)
+        assert len(text.splitlines()) == 13  # title + header + separator + 10 rows
+
+    def test_format_series_length_check(self):
+        with pytest.raises(ValueError):
+            format_series("bad", np.ones(3), np.ones(4))

@@ -1,0 +1,118 @@
+"""Integration tests: the figure experiments reproduce the paper's claims.
+
+These use reduced Monte-Carlo sizes so the whole module runs in tens of
+seconds; the benchmarks run the full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.celltypes import CellType
+from repro.experiments.figure2 import run_oscillator_experiment
+from repro.experiments.figure3 import run_noisy_oscillator_experiment
+from repro.experiments.figure4 import run_celltype_experiment
+from repro.experiments.figure5 import run_ftsz_experiment
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    return run_oscillator_experiment(num_cells=3000, phase_bins=60, num_times=16, rng=1)
+
+
+class TestFigure2:
+    def test_deconvolution_recovers_both_species(self, figure2_result):
+        for name in ("x1", "x2"):
+            comparison = figure2_result.comparisons[name]
+            assert comparison.nrmse < 0.1
+            assert comparison.correlation > 0.95
+
+    def test_deconvolution_beats_population_curves(self, figure2_result):
+        for factor in figure2_result.improvement_factors().values():
+            assert factor > 2.0
+
+    def test_population_is_damped_relative_to_single_cell(self, figure2_result):
+        """Asynchronous averaging shrinks the oscillation amplitude."""
+        for name in ("x1", "x2"):
+            single = figure2_result.single_cell[name]
+            population = figure2_result.population_clean[name]
+            assert population.max() - population.min() < single.max() - single.min()
+
+    def test_series_shapes(self, figure2_result):
+        assert figure2_result.times.shape == (16,)
+        for series in figure2_result.population.values():
+            assert series.shape == (16,)
+
+    def test_noiseless_population_equals_clean(self, figure2_result):
+        for name in ("x1", "x2"):
+            assert np.allclose(
+                figure2_result.population[name], figure2_result.population_clean[name]
+            )
+
+
+class TestFigure3:
+    def test_noisy_recovery_still_captures_major_features(self):
+        summary = run_noisy_oscillator_experiment(
+            num_realisations=2, num_cells=3000, phase_bins=60, num_times=16, rng=5
+        )
+        assert summary.num_realisations == 2
+        for name in ("x1", "x2"):
+            assert summary.mean_nrmse[name] < 0.3
+            assert summary.mean_improvement[name] > 1.0
+        assert summary.example.noise_fraction == pytest.approx(0.10)
+
+    def test_noise_actually_added(self):
+        summary = run_noisy_oscillator_experiment(
+            num_realisations=1, num_cells=2000, phase_bins=50, num_times=12, rng=6
+        )
+        example = summary.example
+        for name in ("x1", "x2"):
+            assert not np.allclose(example.population[name], example.population_clean[name])
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_celltype_experiment(num_cells=10_000, rng=3)
+
+    def test_simulated_distribution_matches_reference(self, result):
+        assert result.mean_error < 0.12
+        assert result.within_band_fraction > 0.6
+
+    def test_all_types_reported(self, result):
+        assert set(result.per_type_max_error) == set(CellType.ordered())
+        assert set(result.per_type_mean_error) == set(CellType.ordered())
+
+    def test_simulated_fractions_normalised(self, result):
+        assert result.simulated.check_normalised(tol=1e-9)
+
+    def test_qualitative_shape(self, result):
+        simulated = result.simulated.fractions
+        assert simulated[CellType.STE][0] > 0.5          # mostly early-stalked at 75 min
+        assert simulated[CellType.SW][-1] > simulated[CellType.SW][0]  # swarmers reappear
+        stepd = simulated[CellType.STEPD]
+        assert np.argmax(stepd) not in (0, stepd.size - 1)  # predivisional peak mid-way
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ftsz_experiment(num_cells=4000, num_times=14, rng=7)
+
+    def test_delay_visible_only_after_deconvolution(self, result):
+        assert result.deconvolved_onset_phase == pytest.approx(result.true_onset_phase, abs=0.08)
+        assert result.population_onset_phase < result.deconvolved_onset_phase - 0.05
+
+    def test_post_peak_drop_without_subsequent_increase(self, result):
+        assert result.deconvolved_post_peak_drop > 0.7
+        assert not result.deconvolved_has_post_peak_increase
+
+    def test_population_data_misleading_at_late_times(self, result):
+        """The raw population series rises again late in the experiment."""
+        assert result.population_final_trend_up
+
+    def test_peak_phase_near_biology(self, result):
+        assert result.deconvolved_peak_phase == pytest.approx(0.4, abs=0.1)
+
+    def test_quantitative_recovery(self, result):
+        assert result.comparison.nrmse < 0.15
+        assert result.comparison.improvement_factor > 1.5

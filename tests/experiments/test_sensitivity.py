@@ -1,0 +1,50 @@
+"""Tests for the asynchrony-parameter sensitivity studies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sensitivity import run_cycle_time_sensitivity, run_mu_sst_sensitivity
+
+
+class TestMuSstSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mu_sst_sensitivity(
+            assumed_values=np.array([0.15, 0.25, 0.35]),
+            num_cells=2500,
+            phase_bins=50,
+            num_times=12,
+            rng=17,
+        )
+
+    def test_result_structure(self, result):
+        assert result.parameter_name == "mu_sst"
+        assert result.true_value == pytest.approx(0.15)
+        assert result.errors.shape == result.assumed_values.shape
+
+    def test_correct_assumption_is_best_or_near_best(self, result):
+        """Assuming the true transition phase beats a badly wrong assumption."""
+        error_at_truth = result.error_at_truth()
+        worst = float(np.max(result.errors))
+        assert error_at_truth <= worst
+        assert result.best_assumed_value() in (0.15, 0.25)
+
+    def test_large_mismatch_degrades_recovery(self, result):
+        index_true = int(np.argmin(np.abs(result.assumed_values - 0.15)))
+        index_far = int(np.argmin(np.abs(result.assumed_values - 0.35)))
+        assert result.errors[index_far] > result.errors[index_true]
+
+
+class TestCycleTimeSensitivity:
+    def test_wrong_cycle_time_degrades_recovery(self):
+        result = run_cycle_time_sensitivity(
+            assumed_values=np.array([105.0, 150.0, 210.0]),
+            num_cells=2500,
+            phase_bins=50,
+            num_times=12,
+            rng=19,
+        )
+        assert result.parameter_name == "mean_cycle_time"
+        index_true = int(np.argmin(np.abs(result.assumed_values - 150.0)))
+        assert result.errors[index_true] <= float(np.max(result.errors))
+        assert result.error_at_truth() < 0.3

@@ -1,0 +1,92 @@
+"""Tests for repro.numerics.integrate (RK4 and adaptive RK45)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.integrate import integrate_rk4, integrate_rk45
+
+
+def exponential_decay(t, y):
+    return -0.5 * y
+
+
+def harmonic_oscillator(t, y):
+    return np.array([y[1], -y[0]])
+
+
+class TestRK4:
+    def test_exponential_decay_accuracy(self):
+        times = np.linspace(0.0, 4.0, 201)
+        solution = integrate_rk4(exponential_decay, [1.0], times)
+        assert np.allclose(solution.states[:, 0], np.exp(-0.5 * times), atol=1e-7)
+
+    def test_harmonic_oscillator_energy(self):
+        times = np.linspace(0.0, 20.0, 2001)
+        solution = integrate_rk4(harmonic_oscillator, [1.0, 0.0], times)
+        energy = solution.states[:, 0] ** 2 + solution.states[:, 1] ** 2
+        assert np.allclose(energy, 1.0, atol=1e-6)
+
+    def test_fourth_order_convergence(self):
+        def solve(n):
+            times = np.linspace(0.0, 1.0, n)
+            return integrate_rk4(exponential_decay, [1.0], times).states[-1, 0]
+
+        exact = np.exp(-0.5)
+        coarse_error = abs(solve(11) - exact)
+        fine_error = abs(solve(21) - exact)
+        # Halving the step should reduce the error by roughly 2**4.
+        assert fine_error < coarse_error / 10.0
+
+    def test_component_and_interpolate(self):
+        times = np.linspace(0.0, 1.0, 11)
+        solution = integrate_rk4(harmonic_oscillator, [0.0, 1.0], times)
+        assert solution.component(1).shape == (11,)
+        mid = solution.interpolate([0.05])
+        assert mid.shape == (1, 2)
+
+    def test_requires_1d_state(self):
+        with pytest.raises(ValueError):
+            integrate_rk4(exponential_decay, np.zeros((2, 2)), np.linspace(0, 1, 5))
+
+
+class TestRK45:
+    def test_exponential_decay_accuracy(self):
+        solution = integrate_rk45(exponential_decay, [1.0], (0.0, 5.0), rtol=1e-9, atol=1e-12)
+        assert solution.states[-1, 0] == pytest.approx(np.exp(-2.5), rel=1e-7)
+
+    def test_dense_output(self):
+        query = np.linspace(0.0, 10.0, 101)
+        solution = integrate_rk45(
+            harmonic_oscillator, [1.0, 0.0], (0.0, 10.0), dense_times=query, rtol=1e-8, atol=1e-10
+        )
+        assert solution.times.shape == (101,)
+        assert np.allclose(solution.states[:, 0], np.cos(query), atol=1e-4)
+
+    def test_adaptivity_uses_fewer_steps_for_loose_tolerance(self):
+        tight = integrate_rk45(exponential_decay, [1.0], (0.0, 10.0), rtol=1e-10, atol=1e-12)
+        loose = integrate_rk45(exponential_decay, [1.0], (0.0, 10.0), rtol=1e-4, atol=1e-6)
+        assert loose.num_steps < tight.num_steps
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            integrate_rk45(exponential_decay, [1.0], (1.0, 1.0))
+
+    def test_dense_times_outside_interval_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_rk45(exponential_decay, [1.0], (0.0, 1.0), dense_times=[0.0, 2.0])
+
+    def test_step_counter_reported(self):
+        solution = integrate_rk45(exponential_decay, [1.0], (0.0, 1.0))
+        assert solution.num_steps > 0
+        assert solution.num_rejected >= 0
+
+    def test_stiff_like_problem_matches_reference(self):
+        # Moderately fast decay plus forcing; compare against the analytic solution.
+        def rhs(t, y):
+            return np.array([-10.0 * y[0] + 10.0 * np.sin(t)])
+
+        query = np.linspace(0.0, 3.0, 31)
+        solution = integrate_rk45(rhs, [0.0], (0.0, 3.0), dense_times=query, rtol=1e-9, atol=1e-11)
+        # Analytic solution of y' = -10 y + 10 sin t with y(0) = 0.
+        analytic = (10.0 / 101.0) * (10.0 * np.sin(query) - np.cos(query) + np.exp(-10.0 * query))
+        assert np.allclose(solution.states[:, 0], analytic, atol=1e-6)

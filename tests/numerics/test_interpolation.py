@@ -1,0 +1,130 @@
+"""Tests for repro.numerics.interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.interpolate import CubicSpline
+
+from repro.numerics.interpolation import LinearInterpolator, NaturalCubicSpline
+
+
+class TestLinearInterpolator:
+    def test_reproduces_nodes(self):
+        x = np.array([0.0, 0.5, 1.0])
+        y = np.array([1.0, 3.0, 2.0])
+        interp = LinearInterpolator(x, y)
+        assert np.allclose(interp(x), y)
+
+    def test_midpoint_value(self):
+        interp = LinearInterpolator([0.0, 1.0], [0.0, 2.0])
+        assert interp(0.5) == pytest.approx(1.0)
+
+    def test_scalar_in_scalar_out(self):
+        interp = LinearInterpolator([0.0, 1.0], [0.0, 2.0])
+        assert isinstance(interp(0.25), float)
+
+    def test_clamped_extrapolation(self):
+        interp = LinearInterpolator([0.0, 1.0], [1.0, 2.0])
+        assert interp(-1.0) == pytest.approx(1.0)
+        assert interp(2.0) == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearInterpolator([0.0, 1.0], [1.0, 2.0, 3.0])
+
+
+class TestNaturalCubicSpline:
+    def test_interpolates_knot_values(self):
+        knots = np.linspace(0.0, 1.0, 7)
+        values = np.sin(2 * np.pi * knots)
+        spline = NaturalCubicSpline(knots, values)
+        assert np.allclose(spline(knots), values, atol=1e-12)
+
+    def test_matches_scipy_natural_spline(self):
+        knots = np.linspace(0.0, 1.0, 9)
+        values = np.cos(3 * knots) + knots**2
+        ours = NaturalCubicSpline(knots, values)
+        reference = CubicSpline(knots, values, bc_type="natural")
+        query = np.linspace(0.0, 1.0, 101)
+        assert np.allclose(ours(query), reference(query), atol=1e-10)
+        assert np.allclose(ours.derivative(query), reference(query, 1), atol=1e-8)
+        assert np.allclose(ours.second_derivative(query), reference(query, 2), atol=1e-8)
+
+    def test_natural_boundary_conditions(self):
+        knots = np.linspace(0.0, 1.0, 8)
+        values = np.exp(knots)
+        spline = NaturalCubicSpline(knots, values)
+        assert spline.second_derivative(0.0) == pytest.approx(0.0, abs=1e-10)
+        assert spline.second_derivative(1.0) == pytest.approx(0.0, abs=1e-10)
+
+    def test_linear_data_reproduced_exactly(self):
+        knots = np.linspace(0.0, 2.0, 6)
+        values = 3.0 * knots - 1.0
+        spline = NaturalCubicSpline(knots, values)
+        query = np.linspace(0.0, 2.0, 41)
+        assert np.allclose(spline(query), 3.0 * query - 1.0, atol=1e-12)
+        assert np.allclose(spline.derivative(query), 3.0, atol=1e-10)
+
+    def test_integrate_matches_quadrature(self):
+        knots = np.linspace(0.0, 1.0, 11)
+        values = knots**2
+        spline = NaturalCubicSpline(knots, values)
+        fine = np.linspace(0.0, 1.0, 5001)
+        assert spline.integrate() == pytest.approx(np.trapezoid(spline(fine), fine), abs=1e-6)
+
+    def test_roughness_cross_symmetry_and_consistency(self):
+        knots = np.linspace(0.0, 1.0, 6)
+        spline_a = NaturalCubicSpline(knots, np.array([0.0, 1.0, 0.0, 2.0, 0.5, 0.0]))
+        spline_b = NaturalCubicSpline(knots, np.array([1.0, 0.0, 3.0, 0.0, 1.0, 2.0]))
+        ab = spline_a.roughness_cross(spline_b)
+        ba = spline_b.roughness_cross(spline_a)
+        assert ab == pytest.approx(ba)
+        # Compare against brute-force quadrature of the product of second derivatives.
+        fine = np.linspace(0.0, 1.0, 20001)
+        product = spline_a.second_derivative(fine) * spline_b.second_derivative(fine)
+        assert ab == pytest.approx(np.trapezoid(product, fine), rel=1e-4)
+
+    def test_roughness_requires_same_knots(self):
+        a = NaturalCubicSpline(np.linspace(0, 1, 5), np.zeros(5))
+        b = NaturalCubicSpline(np.linspace(0, 1, 6), np.zeros(6))
+        with pytest.raises(ValueError):
+            a.roughness_cross(b)
+
+    def test_too_few_knots_rejected(self):
+        with pytest.raises(ValueError):
+            NaturalCubicSpline(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_invalid_derivative_order(self):
+        spline = NaturalCubicSpline(np.linspace(0, 1, 4), np.zeros(4))
+        with pytest.raises(ValueError):
+            spline._evaluate(0.5, derivative=3)
+
+    def test_scalar_evaluation_returns_float(self):
+        spline = NaturalCubicSpline(np.linspace(0, 1, 4), np.arange(4.0))
+        assert isinstance(spline(0.3), float)
+        assert isinstance(spline.derivative(0.3), float)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.floats(-10, 10), min_size=4, max_size=12),
+)
+def test_spline_always_interpolates(values):
+    """Property: a natural cubic spline reproduces its knot values exactly."""
+    knots = np.linspace(0.0, 1.0, len(values))
+    spline = NaturalCubicSpline(knots, np.asarray(values))
+    assert np.allclose(spline(knots), values, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    slope=st.floats(-5, 5),
+    intercept=st.floats(-5, 5),
+    num_knots=st.integers(min_value=3, max_value=10),
+)
+def test_spline_roughness_zero_for_linear_data(slope, intercept, num_knots):
+    """Property: linear data has exactly zero roughness (f'' == 0 everywhere)."""
+    knots = np.linspace(0.0, 1.0, num_knots)
+    spline = NaturalCubicSpline(knots, slope * knots + intercept)
+    assert spline.roughness_cross(spline) == pytest.approx(0.0, abs=1e-9)

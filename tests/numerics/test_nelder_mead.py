@@ -1,0 +1,57 @@
+"""Tests for repro.numerics.nelder_mead."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.nelder_mead import minimize_nelder_mead
+
+
+class TestNelderMead:
+    def test_quadratic_bowl(self):
+        result = minimize_nelder_mead(lambda x: float(np.sum((x - 3.0) ** 2)), np.zeros(3))
+        assert result.converged
+        assert np.allclose(result.x, 3.0, atol=1e-4)
+
+    def test_rosenbrock_two_dimensional(self):
+        def rosenbrock(x):
+            return float(100.0 * (x[1] - x[0] ** 2) ** 2 + (1.0 - x[0]) ** 2)
+
+        result = minimize_nelder_mead(rosenbrock, np.array([-1.2, 1.0]), max_iterations=5000)
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-3)
+
+    def test_one_dimensional(self):
+        result = minimize_nelder_mead(lambda x: float((x[0] - 2.5) ** 4 + 1.0), np.array([0.0]))
+        assert result.x[0] == pytest.approx(2.5, abs=1e-2)
+        assert result.fun == pytest.approx(1.0, abs=1e-6)
+
+    def test_respects_iteration_cap(self):
+        result = minimize_nelder_mead(
+            lambda x: float(np.sum(x**2)), np.full(4, 10.0), max_iterations=3
+        )
+        assert not result.converged
+        assert result.iterations <= 3
+
+    def test_reports_function_evaluations(self):
+        calls = {"count": 0}
+
+        def objective(x):
+            calls["count"] += 1
+            return float(np.sum(x**2))
+
+        result = minimize_nelder_mead(objective, np.ones(2))
+        assert result.function_evaluations == calls["count"]
+
+    def test_per_coordinate_initial_step(self):
+        result = minimize_nelder_mead(
+            lambda x: float((x[0] - 1.0) ** 2 + (x[1] - 100.0) ** 2),
+            np.array([0.0, 0.0]),
+            initial_step=[0.5, 50.0],
+            max_iterations=4000,
+        )
+        assert np.allclose(result.x, [1.0, 100.0], rtol=1e-3, atol=1e-2)
+
+    def test_zero_step_replaced(self):
+        result = minimize_nelder_mead(
+            lambda x: float(np.sum((x - 1.0) ** 2)), np.zeros(2), initial_step=0.0
+        )
+        assert np.allclose(result.x, 1.0, atol=1e-3)

@@ -1,0 +1,158 @@
+"""Tests for repro.numerics.qp (active-set quadratic programming)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.qp import QuadraticProgram, solve_qp, solve_qp_active_set
+
+
+def _simple_problem(**kwargs):
+    """min 0.5 (x0^2 + x1^2) - x0 - 2 x1 -> unconstrained optimum (1, 2)."""
+    return QuadraticProgram(
+        hessian=np.eye(2),
+        gradient=np.array([-1.0, -2.0]),
+        **kwargs,
+    )
+
+
+class TestQuadraticProgram:
+    def test_objective_value(self):
+        problem = _simple_problem()
+        assert problem.objective(np.array([1.0, 2.0])) == pytest.approx(-2.5)
+
+    def test_rejects_asymmetric_hessian(self):
+        with pytest.raises(ValueError):
+            QuadraticProgram(hessian=np.array([[1.0, 2.0], [0.0, 1.0]]), gradient=np.zeros(2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            QuadraticProgram(hessian=np.eye(3), gradient=np.zeros(2))
+
+    def test_constraint_pairing_enforced(self):
+        with pytest.raises(ValueError):
+            QuadraticProgram(hessian=np.eye(2), gradient=np.zeros(2), eq_matrix=np.eye(2))
+
+    def test_feasibility_check(self):
+        problem = _simple_problem(ineq_matrix=np.array([[1.0, 0.0]]), ineq_vector=np.array([0.0]))
+        assert problem.is_feasible(np.array([1.0, 0.0]))
+        assert not problem.is_feasible(np.array([-1.0, 0.0]))
+
+
+class TestActiveSetSolver:
+    def test_unconstrained_optimum(self):
+        result = solve_qp_active_set(_simple_problem())
+        assert result.converged
+        assert np.allclose(result.x, [1.0, 2.0], atol=1e-8)
+
+    def test_equality_constrained(self):
+        # min 0.5||x||^2 - [1,2].x  s.t. x0 + x1 = 1 -> x = (0, 1)
+        problem = _simple_problem(
+            eq_matrix=np.array([[1.0, 1.0]]), eq_vector=np.array([1.0])
+        )
+        result = solve_qp_active_set(problem, x0=np.array([0.5, 0.5]))
+        assert result.converged
+        assert np.allclose(result.x, [0.0, 1.0], atol=1e-8)
+
+    def test_inactive_inequality_ignored(self):
+        problem = _simple_problem(
+            ineq_matrix=np.array([[1.0, 0.0]]), ineq_vector=np.array([-10.0])
+        )
+        result = solve_qp_active_set(problem)
+        assert np.allclose(result.x, [1.0, 2.0], atol=1e-8)
+
+    def test_active_inequality_binds(self):
+        # Constrain x1 <= 1 via -x1 >= -1; optimum moves to (1, 1).
+        problem = _simple_problem(
+            ineq_matrix=np.array([[0.0, -1.0]]), ineq_vector=np.array([-1.0])
+        )
+        result = solve_qp_active_set(problem)
+        assert result.converged
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-8)
+        assert result.active_set == [0]
+
+    def test_box_constrained_corner(self):
+        # min 0.5||x - (2, 3)||^2 subject to x <= 1 componentwise -> (1, 1).
+        problem = QuadraticProgram(
+            hessian=np.eye(2),
+            gradient=np.array([-2.0, -3.0]),
+            ineq_matrix=-np.eye(2),
+            ineq_vector=-np.ones(2),
+        )
+        result = solve_qp_active_set(problem)
+        assert result.converged
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-8)
+
+    def test_infeasible_start_rejected(self):
+        problem = _simple_problem(
+            ineq_matrix=np.array([[1.0, 0.0]]), ineq_vector=np.array([5.0])
+        )
+        with pytest.raises(ValueError):
+            solve_qp_active_set(problem, x0=np.zeros(2))
+
+    def test_degenerate_start_with_many_active_rows(self):
+        # Positivity on many coordinates starting from zero (all rows active):
+        # the solver must still reach the clipped optimum.
+        n = 8
+        target = np.array([1.0, -2.0, 3.0, -0.5, 0.7, -1.2, 0.0, 2.5])
+        problem = QuadraticProgram(
+            hessian=np.eye(n),
+            gradient=-target,
+            ineq_matrix=np.eye(n),
+            ineq_vector=np.zeros(n),
+        )
+        result = solve_qp_active_set(problem, x0=np.zeros(n))
+        assert result.converged
+        assert np.allclose(result.x, np.maximum(target, 0.0), atol=1e-7)
+
+    def test_matches_scipy_backend_on_mixed_problem(self):
+        rng = np.random.default_rng(3)
+        n = 6
+        root = rng.normal(size=(n, n))
+        hessian = root @ root.T + n * np.eye(n)
+        gradient = rng.normal(size=n)
+        problem = QuadraticProgram(
+            hessian=hessian,
+            gradient=gradient,
+            eq_matrix=np.ones((1, n)),
+            eq_vector=np.zeros(1),
+            ineq_matrix=np.eye(n),
+            ineq_vector=-np.ones(n),
+        )
+        ours = solve_qp(problem, backend="active_set", x0=np.zeros(n))
+        scipy_result = solve_qp(problem, backend="scipy", x0=np.zeros(n))
+        assert ours.converged and scipy_result.converged
+        assert ours.objective == pytest.approx(scipy_result.objective, rel=1e-5, abs=1e-8)
+
+    def test_auto_backend_returns_feasible_solution(self):
+        problem = _simple_problem(
+            ineq_matrix=np.array([[0.0, -1.0]]), ineq_vector=np.array([-1.0])
+        )
+        result = solve_qp(problem, backend="auto")
+        assert problem.is_feasible(result.x)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_qp(_simple_problem(), backend="cvxpy")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), n=st.integers(min_value=2, max_value=8))
+def test_active_set_never_beats_unconstrained_and_stays_feasible(seed, n):
+    """Property: the constrained optimum is feasible and no better than unconstrained."""
+    rng = np.random.default_rng(seed)
+    root = rng.normal(size=(n, n))
+    hessian = root @ root.T + n * np.eye(n)
+    gradient = rng.normal(size=n)
+    problem = QuadraticProgram(
+        hessian=hessian,
+        gradient=gradient,
+        ineq_matrix=np.eye(n),
+        ineq_vector=np.zeros(n),
+    )
+    result = solve_qp_active_set(problem, x0=np.full(n, 1.0))
+    assert result.converged
+    assert problem.is_feasible(result.x, tol=1e-6)
+    unconstrained = np.linalg.solve(hessian, -gradient)
+    assert problem.objective(result.x) >= problem.objective(unconstrained) - 1e-8

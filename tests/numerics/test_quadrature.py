@@ -1,0 +1,137 @@
+"""Tests for repro.numerics.quadrature."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.quadrature import (
+    gauss_legendre_nodes,
+    integrate_function,
+    integrate_samples,
+    simpson_weights,
+    trapezoid_weights,
+)
+
+
+class TestTrapezoidWeights:
+    def test_weights_sum_to_interval_length(self):
+        grid = np.linspace(0.0, 1.0, 17)
+        assert np.isclose(trapezoid_weights(grid).sum(), 1.0)
+
+    def test_exact_for_linear_functions(self):
+        grid = np.linspace(0.0, 2.0, 9)
+        weights = trapezoid_weights(grid)
+        assert np.isclose(weights @ (3.0 * grid + 1.0), 3.0 * 2.0 + 2.0)
+
+    def test_non_uniform_grid(self):
+        grid = np.array([0.0, 0.1, 0.5, 1.0])
+        weights = trapezoid_weights(grid)
+        assert np.isclose(weights.sum(), 1.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            trapezoid_weights(np.array([0.5]))
+
+
+class TestSimpsonWeights:
+    def test_exact_for_cubics_on_even_interval_count(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        weights = simpson_weights(grid)
+        # Simpson integrates cubics exactly.
+        assert np.isclose(weights @ grid**3, 0.25, atol=1e-12)
+
+    def test_odd_interval_count_still_reasonable(self):
+        grid = np.linspace(0.0, 1.0, 10)
+        weights = simpson_weights(grid)
+        assert np.isclose(weights @ grid**2, 1.0 / 3.0, atol=1e-3)
+
+    def test_rejects_non_uniform_grid(self):
+        with pytest.raises(ValueError):
+            simpson_weights(np.array([0.0, 0.1, 0.5, 1.0]))
+
+    def test_two_points_fall_back_to_trapezoid(self):
+        grid = np.array([0.0, 1.0])
+        assert np.allclose(simpson_weights(grid), [0.5, 0.5])
+
+
+class TestGaussLegendre:
+    def test_exactness_for_high_degree_polynomials(self):
+        nodes, weights = gauss_legendre_nodes(5, 0.0, 1.0)
+        # 5-point Gauss-Legendre is exact through degree 9.
+        assert np.isclose(weights @ nodes**9, 1.0 / 10.0, atol=1e-12)
+
+    def test_interval_mapping(self):
+        nodes, weights = gauss_legendre_nodes(8, 2.0, 6.0)
+        assert np.all((nodes > 2.0) & (nodes < 6.0))
+        assert np.isclose(weights.sum(), 4.0)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            gauss_legendre_nodes(0)
+
+
+class TestIntegrateSamples:
+    def test_trapezoid_rule_by_name(self):
+        grid = np.linspace(0.0, np.pi, 201)
+        assert np.isclose(integrate_samples(np.sin(grid), grid), 2.0, atol=1e-3)
+
+    def test_simpson_rule_by_name(self):
+        grid = np.linspace(0.0, np.pi, 201)
+        assert np.isclose(integrate_samples(np.sin(grid), grid, rule="simpson"), 2.0, atol=1e-8)
+
+    def test_unknown_rule(self):
+        grid = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            integrate_samples(grid, grid, rule="midpoint")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            integrate_samples(np.ones(3), np.linspace(0, 1, 4))
+
+
+class TestIntegrateFunction:
+    def test_gaussian_density_integrates_to_one(self):
+        sigma = 0.02
+        density = lambda x: np.exp(-0.5 * ((x - 0.15) / sigma) ** 2) / (sigma * np.sqrt(2 * np.pi))
+        value = integrate_function(density, 0.0, 1.0, order=32, pieces=8)
+        assert np.isclose(value, 1.0, atol=1e-6)
+
+    def test_piecewise_refinement_helps_narrow_features(self):
+        sigma = 0.005
+        density = lambda x: np.exp(-0.5 * ((x - 0.5) / sigma) ** 2)
+        coarse = integrate_function(density, 0.0, 1.0, order=8, pieces=1)
+        fine = integrate_function(density, 0.0, 1.0, order=8, pieces=64)
+        exact = sigma * np.sqrt(2 * np.pi)
+        assert abs(fine - exact) < abs(coarse - exact)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            integrate_function(np.sin, 1.0, 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    coefficients=st.lists(st.floats(-5, 5), min_size=3, max_size=3),
+    num_points=st.integers(min_value=5, max_value=99),
+)
+def test_simpson_exact_for_random_quadratics(coefficients, num_points):
+    """Property: composite Simpson integrates any quadratic exactly on even grids."""
+    if num_points % 2 == 0:
+        num_points += 1  # ensure an even number of intervals
+    a, b, c = coefficients
+    grid = np.linspace(0.0, 1.0, num_points)
+    weights = simpson_weights(grid)
+    values = a * grid**2 + b * grid + c
+    exact = a / 3.0 + b / 2.0 + c
+    assert np.isclose(weights @ values, exact, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=30))
+def test_trapezoid_weights_are_positive_and_sum_to_span(increments):
+    """Property: trapezoid weights are positive and sum to the grid span."""
+    grid = np.concatenate([[0.0], np.cumsum(increments)])
+    weights = trapezoid_weights(grid)
+    assert np.all(weights > 0)
+    assert np.isclose(weights.sum(), grid[-1] - grid[0])

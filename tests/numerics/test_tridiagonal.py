@@ -1,0 +1,72 @@
+"""Tests for repro.numerics.tridiagonal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.tridiagonal import solve_tridiagonal
+
+
+def _dense(lower, diagonal, upper):
+    n = diagonal.size
+    matrix = np.diag(diagonal)
+    for i in range(1, n):
+        matrix[i, i - 1] = lower[i]
+        matrix[i - 1, i] = upper[i - 1]
+    return matrix
+
+
+class TestSolveTridiagonal:
+    def test_identity_system(self):
+        n = 6
+        x = solve_tridiagonal(np.zeros(n), np.ones(n), np.zeros(n), np.arange(n, dtype=float))
+        assert np.allclose(x, np.arange(n))
+
+    def test_matches_dense_solver(self):
+        rng = np.random.default_rng(0)
+        n = 12
+        lower = rng.uniform(-1, 1, n)
+        upper = rng.uniform(-1, 1, n)
+        diagonal = 4.0 + rng.uniform(0, 1, n)  # diagonally dominant
+        rhs = rng.uniform(-2, 2, n)
+        expected = np.linalg.solve(_dense(lower, diagonal, upper), rhs)
+        assert np.allclose(solve_tridiagonal(lower, diagonal, upper, rhs), expected)
+
+    def test_multiple_right_hand_sides(self):
+        rng = np.random.default_rng(1)
+        n = 8
+        lower = rng.uniform(-1, 1, n)
+        upper = rng.uniform(-1, 1, n)
+        diagonal = 5.0 + rng.uniform(0, 1, n)
+        rhs = rng.uniform(-1, 1, (n, 3))
+        solution = solve_tridiagonal(lower, diagonal, upper, rhs)
+        assert solution.shape == (n, 3)
+        expected = np.linalg.solve(_dense(lower, diagonal, upper), rhs)
+        assert np.allclose(solution, expected)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            solve_tridiagonal(np.zeros(3), np.zeros(3), np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve_tridiagonal(np.zeros(3), np.ones(4), np.zeros(4), np.ones(4))
+        with pytest.raises(ValueError):
+            solve_tridiagonal(np.zeros(4), np.ones(4), np.zeros(4), np.ones(5))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_diagonally_dominant_systems(n, seed):
+    """Property: the Thomas algorithm matches NumPy on diagonally dominant systems."""
+    rng = np.random.default_rng(seed)
+    lower = rng.uniform(-1, 1, n)
+    upper = rng.uniform(-1, 1, n)
+    diagonal = 3.0 + rng.uniform(0, 1, n)
+    rhs = rng.uniform(-5, 5, n)
+    expected = np.linalg.solve(_dense(lower, diagonal, upper), rhs)
+    assert np.allclose(solve_tridiagonal(lower, diagonal, upper, rhs), expected, atol=1e-9)

@@ -1,0 +1,118 @@
+"""End-to-end and property-based tests of the full deconvolution pipeline.
+
+These tests exercise the whole chain — single-cell profile, forward
+convolution through the Monte-Carlo kernel, constrained regularised inversion —
+on randomly generated but physically sensible profiles, checking the
+invariants that should hold regardless of the particular profile.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import nrmse, pearson_correlation
+from repro.core.deconvolver import Deconvolver
+from repro.data.synthetic import single_pulse_profile
+from repro.data.timeseries import PhaseProfile
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    center=st.floats(0.25, 0.75),
+    width=st.floats(0.08, 0.2),
+    amplitude=st.floats(0.5, 5.0),
+    baseline=st.floats(0.05, 1.0),
+)
+def test_pulse_profiles_recovered_within_tolerance(
+    small_kernel, paper_parameters, center, width, amplitude, baseline
+):
+    """Property: any reasonable single-pulse profile is recovered with small error."""
+    truth = single_pulse_profile(center=center, width=width, amplitude=amplitude, baseline=baseline)
+    values = small_kernel.apply_function(truth)
+    deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+    result = deconvolver.fit(small_kernel.times, values, lam=1e-4)
+    phases = np.linspace(0.0, 1.0, 151)
+    assert result.solver_converged
+    assert pearson_correlation(result.profile(phases), truth(phases)) > 0.9
+    assert np.min(result.profile(phases)) >= -5e-3 * (amplitude + baseline)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(scale=st.floats(0.1, 20.0))
+def test_deconvolution_is_scale_equivariant(small_kernel, paper_parameters, scale):
+    """Property: scaling the measurements scales the recovered profile linearly."""
+    truth = single_pulse_profile(center=0.5, width=0.12, amplitude=2.0, baseline=0.2)
+    values = small_kernel.apply_function(truth)
+    deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+    base = deconvolver.fit(small_kernel.times, values, lam=1e-3)
+    scaled = deconvolver.fit(small_kernel.times, scale * values, lam=1e-3)
+    phases = np.linspace(0.0, 1.0, 101)
+    assert np.allclose(scaled.profile(phases), scale * base.profile(phases), rtol=1e-3, atol=1e-6)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(0, 10_000))
+def test_forward_model_preserves_phase_average_bounds(small_kernel, seed):
+    """Property: population values stay within the range of the single-cell profile."""
+    rng = np.random.default_rng(seed)
+    knots = np.linspace(0.0, 1.0, 12)
+    values = rng.uniform(0.0, 5.0, 12)
+    truth = PhaseProfile(knots, values)
+    population = small_kernel.apply_function(truth)
+    assert np.all(population >= truth.values.min() - 1e-9)
+    assert np.all(population <= truth.values.max() + 1e-9)
+
+
+class TestPublicAPI:
+    def test_quickstart_snippet_runs(self):
+        """The README / package-docstring quickstart works as written."""
+        from repro import Deconvolver, KernelBuilder, ftsz_like_profile
+
+        times = np.linspace(0.0, 150.0, 10)
+        kernel = KernelBuilder(num_cells=1500, phase_bins=40).build(times, rng=0)
+        truth = ftsz_like_profile()
+        population = kernel.apply_function(truth)
+        result = Deconvolver(kernel).fit(times, population, lam=1e-3)
+        phases, estimate = result.profile_on_grid()
+        assert phases.shape == estimate.shape
+        assert result.solver_converged
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestEndToEndConsistency:
+    def test_deconvolved_then_reconvolved_matches_measurements(
+        self, small_kernel, paper_parameters
+    ):
+        """Pushing the estimate back through the forward model reproduces the data."""
+        truth = single_pulse_profile(center=0.4, width=0.15, amplitude=3.0, baseline=0.5)
+        values = small_kernel.apply_function(truth)
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        result = deconvolver.fit(small_kernel.times, values, lam=1e-4)
+        reconvolved = small_kernel.apply(result.profile(small_kernel.phase_centers))
+        assert nrmse(reconvolved, values) < 0.05
+
+    def test_two_species_deconvolved_independently(self, small_kernel, paper_parameters):
+        """fit_many results match per-species fit results exactly."""
+        profiles = [
+            single_pulse_profile(center=0.3, amplitude=1.0, baseline=0.2),
+            single_pulse_profile(center=0.7, amplitude=2.0, baseline=0.2),
+        ]
+        matrix = np.column_stack([small_kernel.apply_function(p) for p in profiles])
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        together = deconvolver.fit_many(small_kernel.times, matrix, lam=1e-3)
+        separate = [
+            deconvolver.fit(small_kernel.times, matrix[:, i], lam=1e-3) for i in range(2)
+        ]
+        for joint, single in zip(together, separate):
+            assert np.allclose(joint.coefficients, single.coefficients)

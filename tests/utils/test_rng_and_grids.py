@@ -1,0 +1,78 @@
+"""Tests for repro.utils.rng and repro.utils.gridding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.gridding import bin_centers, bin_edges, phase_grid, time_grid
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_integer_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        gen = as_generator(np.random.SeedSequence(3))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.random(3) for g in spawn_generators(5, 3)]
+        second = [g.random(3) for g in spawn_generators(5, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, 0)
+
+    def test_spawning_from_generator(self):
+        children = spawn_generators(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+
+class TestGrids:
+    def test_phase_grid_endpoints(self):
+        grid = phase_grid(11)
+        assert grid[0] == 0.0 and grid[-1] == 1.0
+        assert grid.size == 11
+
+    def test_phase_grid_needs_two_points(self):
+        with pytest.raises(ValueError):
+            phase_grid(1)
+
+    def test_time_grid(self):
+        grid = time_grid(150.0, 6)
+        assert grid[0] == 0.0 and grid[-1] == 150.0
+
+    def test_time_grid_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            time_grid(0.0, 5)
+
+    def test_bin_edges_and_centers(self):
+        edges = bin_edges(4)
+        centers = bin_centers(edges)
+        assert edges.size == 5
+        assert centers.size == 4
+        assert np.allclose(centers, [0.125, 0.375, 0.625, 0.875])
+
+    def test_bin_edges_validation(self):
+        with pytest.raises(ValueError):
+            bin_edges(0)
+        with pytest.raises(ValueError):
+            bin_edges(3, 1.0, 0.0)

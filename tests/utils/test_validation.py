@@ -1,0 +1,112 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_sorted,
+    ensure_1d,
+    ensure_2d,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+    def test_returns_python_float(self):
+        assert isinstance(check_positive(np.float64(1.0), "x"), float)
+
+
+class TestCheckInRange:
+    def test_accepts_interior_point(self):
+        assert check_in_range(0.5, "x", 0.0, 1.0) == 0.5
+
+    def test_inclusive_bounds_accepted(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+    def test_probability_helper(self):
+        assert check_probability(0.3, "p") == 0.3
+        with pytest.raises(ValueError):
+            check_probability(1.2, "p")
+
+
+class TestEnsure1d:
+    def test_accepts_list(self):
+        result = ensure_1d([1, 2, 3], "x")
+        assert result.shape == (3,)
+        assert result.dtype == float
+
+    def test_scalar_becomes_length_one(self):
+        assert ensure_1d(5.0, "x").shape == (1,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ensure_1d(np.zeros((2, 2)), "x")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensure_1d([], "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_1d([1.0, np.nan], "x")
+
+
+class TestEnsure2d:
+    def test_accepts_matrix(self):
+        assert ensure_2d([[1.0, 2.0], [3.0, 4.0]], "m").shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ensure_2d([1.0, 2.0], "m")
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            ensure_2d([[1.0, np.inf]], "m")
+
+
+class TestCheckSorted:
+    def test_accepts_strictly_increasing(self):
+        result = check_sorted([0.0, 1.0, 2.0], "x")
+        assert result.size == 3
+
+    def test_rejects_ties_when_strict(self):
+        with pytest.raises(ValueError):
+            check_sorted([0.0, 1.0, 1.0], "x")
+
+    def test_allows_ties_when_not_strict(self):
+        check_sorted([0.0, 1.0, 1.0], "x", strict=False)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            check_sorted([1.0, 0.5], "x", strict=False)
