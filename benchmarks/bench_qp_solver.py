@@ -1,7 +1,9 @@
 """Benchmark A6: the in-repo active-set QP solver vs SciPy SLSQP.
 
 Times both backends on a representative deconvolution quadratic program and
-verifies they reach the same constrained optimum.
+verifies they reach the same constrained optimum.  The repeated-solve and
+warm-started benchmarks exercise the shared-factorization workspace path used
+by the lambda-search / bootstrap / multi-species workloads.
 """
 
 import numpy as np
@@ -37,6 +39,20 @@ def test_qp_active_set_backend(benchmark, problem):
 def test_qp_scipy_backend(benchmark, problem):
     result = benchmark(lambda: problem.solve(1e-3, backend="scipy"))
     assert result.converged
+
+
+def test_qp_warm_started_resolve(benchmark, problem):
+    """Warm-started re-solve through the shared workspace (the bootstrap /
+    lambda-sweep inner loop)."""
+    base = problem.solve(1e-3, backend="active_set")
+    assert base.converged
+    result = benchmark(
+        lambda: problem.solve(
+            1e-3, backend="active_set", x0=base.x, active_set=base.active_set
+        )
+    )
+    assert result.converged
+    assert result.objective == pytest.approx(base.objective, abs=1e-8)
 
 
 def test_qp_backends_reach_same_optimum(problem):

@@ -1,0 +1,32 @@
+"""Benchmark A7: per-stage timings of the shared-factorization solve path.
+
+Wraps :mod:`repro.benchmarks.solvepath` (the same harness behind the
+``BENCH_solvepath.json`` baseline and the tier-1 smoke test) at the default
+workload sizes and prints the per-stage report.  Refresh the committed
+baseline with::
+
+    PYTHONPATH=src python -m repro.benchmarks.solvepath --output BENCH_solvepath.json
+"""
+
+from repro.benchmarks.solvepath import (
+    DEFAULT_CONFIG,
+    format_report,
+    run_solvepath_benchmark,
+)
+
+
+def test_solvepath_stages(benchmark):
+    config = dict(DEFAULT_CONFIG, repeats=1)
+    report = benchmark.pedantic(
+        lambda: run_solvepath_benchmark(**config), rounds=1, iterations=1
+    )
+
+    print("\n=== Benchmark A7: solve-path stages ===")
+    print(format_report(report))
+
+    stages = report["stages_seconds"]
+    # The whole point of the workspace: repeated and warm solves must be far
+    # cheaper than assembling and solving from scratch.
+    assert stages["qp_solve"] < stages["problem_assembly_cold"]
+    assert stages["qp_solve_warm"] <= stages["qp_solve"] * 1.5
+    assert stages["lambda_gcv"] < stages["lambda_kfold"]

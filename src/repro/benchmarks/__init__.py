@@ -1,0 +1,9 @@
+"""In-package benchmark harnesses.
+
+Unlike the pytest-benchmark suites under ``benchmarks/`` (repo root), the
+modules here are importable library code: they can run in a smoke mode inside
+the tier-1 test flow and emit machine-readable baselines (e.g.
+``BENCH_solvepath.json``) that future PRs diff against.
+"""
+
+__all__ = ["solvepath"]

@@ -1,0 +1,250 @@
+"""Per-stage timing harness for the warm-started, shared-factorization solve path.
+
+Times the four layers the solve-path PR threads through -- QP solve (cold,
+cached-workspace and warm-started), lambda search (GCV and k-fold CV),
+residual bootstrap and Monte-Carlo kernel build -- on one representative
+deconvolution workload, and emits a JSON baseline (``BENCH_solvepath.json``)
+so the perf trajectory can be tracked across PRs.
+
+Run the full-size benchmark and refresh the committed baseline with::
+
+    PYTHONPATH=src python -m repro.benchmarks.solvepath --output BENCH_solvepath.json
+
+A ``--smoke`` mode (small sizes, one repeat) runs inside the tier-1 test flow
+(``tests/test_bench_smoke.py``) so the harness itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+# Wall-clock seed timings of the stages before the shared-factorization
+# solve path landed (PR 1), measured at the default sizes below on the PR's
+# build machine.  Kept in the emitted JSON so every report carries its own
+# reference point.
+SEED_BASELINE_SECONDS = {
+    # problem.solve on an assembled problem; the seed had no caches, so its
+    # every solve matches today's "qp_solve" stage definition.
+    "qp_solve": 2.06e-4,
+    "lambda_gcv": 6.0e-4,
+    "lambda_kfold": 5.13e-2,
+    "bootstrap": 7.03e-1,
+    "kernel_build": 8.7e-3,
+}
+
+DEFAULT_CONFIG = {
+    "num_cells": 6000,
+    "phase_bins": 80,
+    "num_times": 16,
+    "num_basis": 14,
+    "num_replicates": 50,
+    "lambda_count": 13,
+    "repeats": 5,
+}
+
+SMOKE_CONFIG = {
+    "num_cells": 800,
+    "phase_bins": 30,
+    "num_times": 8,
+    "num_basis": 8,
+    "num_replicates": 4,
+    "lambda_count": 5,
+    "repeats": 1,
+}
+
+
+def _time(function: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``function()``."""
+    best = np.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def run_solvepath_benchmark(
+    *,
+    num_cells: int = DEFAULT_CONFIG["num_cells"],
+    phase_bins: int = DEFAULT_CONFIG["phase_bins"],
+    num_times: int = DEFAULT_CONFIG["num_times"],
+    num_basis: int = DEFAULT_CONFIG["num_basis"],
+    num_replicates: int = DEFAULT_CONFIG["num_replicates"],
+    lambda_count: int = DEFAULT_CONFIG["lambda_count"],
+    repeats: int = DEFAULT_CONFIG["repeats"],
+    rng: int = 0,
+) -> dict:
+    """Time every solve-path stage once and return the report dictionary.
+
+    Stages (seconds each):
+
+    * ``kernel_build`` -- vectorized ``build_from_history`` on a shared
+      population history.
+    * ``problem_assembly_cold`` -- fresh problem assembly (design, penalty,
+      constraint rows) plus one solve, nothing cached.
+    * ``qp_solve`` -- ``problem.solve`` on an assembled problem through the
+      per-lambda cached Hessian/Cholesky workspace (the seed solver
+      refactorized here on every call).
+    * ``qp_solve_warm`` -- workspace solve warm-started with the previous
+      solution and active set.
+    * ``lambda_gcv`` -- eigendecomposition GCV over the lambda grid.
+    * ``lambda_kfold`` -- k-fold CV with hoisted folds and warm-started
+      lambda sweeps.
+    * ``bootstrap`` -- residual bootstrap with the shared fit workspace and
+      warm-started replicates.
+    """
+    from repro.cellcycle.kernel import KernelBuilder
+    from repro.cellcycle.parameters import CellCycleParameters
+    from repro.cellcycle.population import PopulationSimulator
+    from repro.core.basis import SplineBasis
+    from repro.core.constraints import default_constraints
+    from repro.core.deconvolver import Deconvolver
+    from repro.core.forward import ForwardModel
+    from repro.core.lambda_selection import (
+        default_lambda_grid,
+        generalized_cross_validation,
+        k_fold_cross_validation,
+    )
+    from repro.core.problem import DeconvolutionProblem
+    from repro.core.uncertainty import bootstrap_deconvolution
+    from repro.data.synthetic import ftsz_like_profile
+
+    parameters = CellCycleParameters()
+    times = np.linspace(0.0, 150.0, int(num_times))
+    builder = KernelBuilder(
+        parameters, num_cells=int(num_cells), phase_bins=int(phase_bins)
+    )
+    simulator = PopulationSimulator(
+        parameters, builder.volume_model, builder.initial_condition
+    )
+    history = simulator.run(int(num_cells), float(times.max()), rng)
+    kernel = builder.build_from_history(history, times, simulator)
+    truth = ftsz_like_profile()
+    measurements = kernel.apply_function(truth)
+    basis = SplineBasis(num_basis=int(num_basis))
+    lambdas = default_lambda_grid(int(lambda_count))
+
+    def fresh_problem() -> DeconvolutionProblem:
+        return DeconvolutionProblem(
+            ForwardModel(kernel, basis),
+            measurements,
+            constraints=default_constraints(),
+            parameters=parameters,
+        )
+
+    stages: dict[str, float] = {}
+    stages["kernel_build"] = _time(
+        lambda: builder.build_from_history(history, times, simulator), repeats
+    )
+
+    lam = 1e-3
+    stages["problem_assembly_cold"] = _time(
+        lambda: fresh_problem().solve(lam, backend="active_set"), repeats
+    )
+    problem = fresh_problem()
+    base = problem.solve(lam, backend="active_set")
+    stages["qp_solve"] = _time(
+        lambda: problem.solve(lam, backend="active_set"), repeats
+    )
+    stages["qp_solve_warm"] = _time(
+        lambda: problem.solve(
+            lam, backend="active_set", x0=base.x, active_set=base.active_set
+        ),
+        repeats,
+    )
+
+    stages["lambda_gcv"] = _time(
+        lambda: generalized_cross_validation(problem, lambdas), repeats
+    )
+    stages["lambda_kfold"] = _time(
+        lambda: k_fold_cross_validation(
+            problem, lambdas, num_folds=min(5, int(num_times)), backend="auto", rng=0
+        ),
+        repeats,
+    )
+
+    deconvolver = Deconvolver(kernel, parameters=parameters, num_basis=int(num_basis))
+    stages["bootstrap"] = _time(
+        lambda: bootstrap_deconvolution(
+            deconvolver,
+            times,
+            measurements,
+            lam=lam,
+            num_replicates=int(num_replicates),
+            rng=0,
+        ),
+        repeats,
+    )
+
+    config = {
+        "num_cells": int(num_cells),
+        "phase_bins": int(phase_bins),
+        "num_times": int(num_times),
+        "num_basis": int(num_basis),
+        "num_replicates": int(num_replicates),
+        "lambda_count": int(lambda_count),
+        "repeats": int(repeats),
+    }
+    is_default = all(config[key] == DEFAULT_CONFIG[key] for key in DEFAULT_CONFIG if key != "repeats")
+    speedups = {}
+    if is_default:
+        for stage, seed_seconds in SEED_BASELINE_SECONDS.items():
+            if stages.get(stage, 0.0) > 0.0:
+                speedups[stage] = round(seed_seconds / stages[stage], 2)
+    return {
+        "benchmark": "solvepath",
+        "config": config,
+        "stages_seconds": stages,
+        "seed_baseline_seconds": SEED_BASELINE_SECONDS if is_default else None,
+        "speedup_vs_seed": speedups or None,
+        "platform": platform.platform(),
+    }
+
+
+def write_baseline(report: dict, path: str) -> None:
+    """Write a benchmark report as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable per-stage summary of a report."""
+    lines = [f"solvepath benchmark ({report['config']})"]
+    speedups = report.get("speedup_vs_seed") or {}
+    for stage, seconds in sorted(report["stages_seconds"].items()):
+        line = f"  {stage:16s} {seconds * 1e3:10.3f} ms"
+        if stage in speedups:
+            line += f"   ({speedups[stage]:.1f}x vs seed)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.benchmarks.solvepath``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes, one repeat")
+    parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument("--repeats", type=int, default=None, help="override repeat count")
+    args = parser.parse_args(argv)
+
+    config = dict(SMOKE_CONFIG if args.smoke else DEFAULT_CONFIG)
+    if args.repeats is not None:
+        config["repeats"] = args.repeats
+    report = run_solvepath_benchmark(**config)
+    print(format_report(report))
+    if args.output:
+        write_baseline(report, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,10 @@ class VolumeKernel:
             raise ValueError(
                 f"density has shape {self.density.shape}, expected {expected}"
             )
+        # Derived arrays are cached lazily; the kernel data is treated as
+        # immutable after construction.
+        self._phase_widths: np.ndarray | None = None
+        self._weighted_density: np.ndarray | None = None
 
     @property
     def phase_centers(self) -> np.ndarray:
@@ -68,8 +72,22 @@ class VolumeKernel:
 
     @property
     def phase_widths(self) -> np.ndarray:
-        """Bin widths, shape ``(nb,)``."""
-        return np.diff(self.phase_edges)
+        """Bin widths, shape ``(nb,)`` (cached)."""
+        if self._phase_widths is None:
+            self._phase_widths = np.diff(self.phase_edges)
+        return self._phase_widths
+
+    @property
+    def weighted_density(self) -> np.ndarray:
+        """Quadrature weights ``density * phase_widths``, shape ``(Nm, nb)``.
+
+        Cached: :meth:`apply` and :meth:`design_matrix` both integrate
+        against this product, so it is computed once per kernel instead of on
+        every call.
+        """
+        if self._weighted_density is None:
+            self._weighted_density = self.density * self.phase_widths[None, :]
+        return self._weighted_density
 
     @property
     def num_measurements(self) -> int:
@@ -104,8 +122,7 @@ class VolumeKernel:
             raise ValueError(
                 f"profile has {values.shape[0]} samples but the kernel has {self.num_bins} bins"
             )
-        weighted = self.density * self.phase_widths[None, :]
-        return weighted @ values
+        return self.weighted_density @ values
 
     def apply_function(self, profile: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
         """Forward-transform a callable synchronous profile ``f(phi)``."""
@@ -128,8 +145,7 @@ class VolumeKernel:
         basis_matrix = ensure_2d(basis_matrix, "basis_matrix")
         if basis_matrix.shape[0] != self.num_bins:
             raise ValueError("basis_matrix rows must match the number of phase bins")
-        weighted = self.density * self.phase_widths[None, :]
-        return weighted @ basis_matrix
+        return self.weighted_density @ basis_matrix
 
     def restrict(self, indices: np.ndarray) -> "VolumeKernel":
         """Kernel restricted to a subset of measurement times (for cross-validation)."""
@@ -140,6 +156,24 @@ class VolumeKernel:
             density=self.density[indices],
             num_cells=self.num_cells[indices],
         )
+
+
+def _uniform_bin_indices(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Bin index of each value in a uniform-edge grid.
+
+    Matches ``searchsorted(edges, values, "right") - 1`` clipped to the valid
+    range (i.e. left-closed bins with the last bin right-closed, as in
+    ``np.histogram``) but uses direct index arithmetic with a +/-1 boundary
+    fix-up, which is considerably faster than a binary search per value.
+    """
+    num_bins = edges.size - 1
+    scale = num_bins / (edges[-1] - edges[0])
+    bins = ((values - edges[0]) * scale).astype(np.intp)
+    np.clip(bins, 0, num_bins - 1, out=bins)
+    bins[values < edges[bins]] -= 1
+    fixable = bins < num_bins - 1
+    bins[fixable & (values >= edges[bins + 1])] += 1
+    return bins
 
 
 class KernelBuilder:
@@ -212,29 +246,63 @@ class KernelBuilder:
         times: np.ndarray,
         simulator: PopulationSimulator | None = None,
     ) -> VolumeKernel:
-        """Estimate the kernel from an existing population history."""
+        """Estimate the kernel from an existing population history.
+
+        All measurement times are processed in one vectorized pass: the
+        birth/division interval of every cell is located in the sorted time
+        grid with ``searchsorted`` (instead of a full-history alive mask per
+        time), and the volume-weighted phase histograms of every snapshot are
+        accumulated with a single ``bincount`` over (time, bin) pairs.
+        """
         times = ensure_1d(times, "times")
+        if np.any(times < 0):
+            raise ValueError(f"time must be non-negative, got {float(times.min())}")
         if simulator is None:
             simulator = PopulationSimulator(
                 self.parameters, self.volume_model, self.initial_condition
             )
         edges = bin_edges(self.phase_bins)
         widths = np.diff(edges)
-        density = np.zeros((times.size, self.phase_bins))
-        counts = np.zeros(times.size, dtype=int)
-        for m, time in enumerate(times):
-            snapshot = simulator.snapshot(history, float(time))
-            counts[m] = snapshot.num_cells
-            if snapshot.num_cells == 0:
-                raise RuntimeError(f"no live cells at time {time}; increase num_cells")
-            hist, _ = np.histogram(
-                snapshot.phases, bins=edges, weights=snapshot.volumes
-            )
-            row = hist / (snapshot.total_volume * widths)
-            density[m] = self._smooth_row(row, widths)
+        num_times = times.size
+        num_bins = self.phase_bins
+
+        order = np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        time_idx, cell_idx, phases = history.phases_at_many(sorted_times)
+
+        counts_sorted = np.bincount(time_idx, minlength=num_times)
+        if np.any(counts_sorted == 0):
+            empty = sorted_times[int(np.argmin(counts_sorted > 0))]
+            raise RuntimeError(f"no live cells at time {empty}; increase num_cells")
+
+        # Volumes come from the (possibly caller-supplied) simulator's model,
+        # matching the previous per-snapshot behaviour.
+        volumes = np.asarray(
+            simulator.volume_model.volume_for_cells(
+                phases, history.transition_phases, cell_idx
+            ),
+            dtype=float,
+        )
+        total_volume = np.bincount(time_idx, weights=volumes, minlength=num_times)
+        bins = _uniform_bin_indices(phases, edges)
+        histograms = np.bincount(
+            time_idx * num_bins + bins, weights=volumes, minlength=num_times * num_bins
+        ).reshape(num_times, num_bins)
+        rows = histograms / (total_volume[:, None] * widths[None, :])
+
+        density = np.zeros((num_times, num_bins))
+        counts = np.zeros(num_times, dtype=int)
+        density[order] = self._smooth_rows(rows, widths)
+        counts[order] = counts_sorted
         return VolumeKernel(
             times=times.copy(), phase_edges=edges, density=density, num_cells=counts
         )
+
+    def _smooth_rows(self, rows: np.ndarray, widths: np.ndarray) -> np.ndarray:
+        """Apply :meth:`_smooth_row` to every kernel row."""
+        if self.smoothing_window == 1:
+            return rows
+        return np.stack([self._smooth_row(row, widths) for row in rows])
 
     def _smooth_row(self, row: np.ndarray, widths: np.ndarray) -> np.ndarray:
         """Moving-average smoothing of one kernel row, preserving its integral."""

@@ -58,6 +58,22 @@ class VolumeModel(abc.ABC):
         result = self.v0 * self._relative_derivative(phi_arr, sst_arr)
         return float(result[()]) if scalar else result
 
+    def volume_for_cells(
+        self,
+        phi: np.ndarray,
+        transition_phases: np.ndarray,
+        cell_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Volumes for (phase, cell) pairs sharing per-cell transition phases.
+
+        ``phi[j]`` is the phase of cell ``cell_indices[j]`` whose transition
+        phase is ``transition_phases[cell_indices[j]]``.  Subclasses may
+        exploit the per-cell structure (e.g. computing phase-independent
+        coefficients once per cell); results are identical to
+        ``volume(phi, transition_phases[cell_indices])``.
+        """
+        return self.volume(phi, np.asarray(transition_phases, dtype=float)[cell_indices])
+
     def swarmer_birth_volume(self) -> float:
         """Volume of a newborn swarmer daughter (``v(0)``)."""
         return 0.4 * self.v0
@@ -146,6 +162,32 @@ class SmoothVolumeModel(VolumeModel):
         early = linear_coeff + 2.0 * quad_coeff * phi + 3.0 * cubic_coeff * phi**2
         late = np.broadcast_to(linear_coeff, phi.shape)
         return np.where(phi < s, early, late)
+
+    def volume_for_cells(
+        self,
+        phi: np.ndarray,
+        transition_phases: np.ndarray,
+        cell_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Pair evaluation with the phase-independent coefficients computed
+        once per cell and gathered, instead of once per (time, cell) pair;
+        float-identical to the generic path."""
+        phi = np.asarray(phi, dtype=float)
+        s = np.asarray(transition_phases, dtype=float)
+        if np.any(phi < -1e-9) or np.any(phi > 1.0 + 1e-9):
+            raise ValueError("phase values must lie in [0, 1]")
+        if np.any(s <= 0.0) or np.any(s >= 1.0):
+            raise ValueError("transition phases must lie strictly inside (0, 1)")
+        phi = np.clip(phi, 0.0, 1.0)
+        linear_coeff = 0.4 / (1.0 - s)
+        quad_coeff = (0.6 - 1.8 * s) / ((1.0 - s) * s**2)
+        cubic_coeff = (1.2 * s - 0.4) / ((1.0 - s) * s**3)
+        late_base = 1.0 - 0.4 / (1.0 - s)
+        lc = linear_coeff[cell_indices]
+        early = 0.4 + lc * phi + quad_coeff[cell_indices] * phi**2
+        early += cubic_coeff[cell_indices] * phi**3
+        late = late_base[cell_indices] + lc * phi
+        return self.v0 * np.where(phi < s[cell_indices], early, late)
 
 
 _VOLUME_MODELS = {

@@ -44,6 +44,18 @@ class SplineBasis:
             NaturalCubicSpline(self.knots, np.eye(self.knots.size)[i])
             for i in range(self.knots.size)
         ]
+        self._penalty: np.ndarray | None = None
+        # Stacked cardinal-spline data for one-pass basis evaluation: knot
+        # values (the identity) and per-spline knot second derivatives.
+        self._knot_values = np.eye(self.knots.size)
+        self._knot_second_derivatives = np.column_stack(
+            [spline.second_derivatives for spline in self._splines]
+        )
+
+    def _locate(self, phases: np.ndarray) -> np.ndarray:
+        """Knot-interval index of each phase (clamped, end pieces extrapolate)."""
+        idx = np.searchsorted(self.knots, phases, side="right") - 1
+        return np.clip(idx, 0, self.knots.size - 2)
 
     @property
     def num_basis(self) -> int:
@@ -51,27 +63,66 @@ class SplineBasis:
         return int(self.knots.size)
 
     def evaluate(self, phases: np.ndarray) -> np.ndarray:
-        """Basis matrix ``B[j, i] = psi_i(phases[j])``."""
+        """Basis matrix ``B[j, i] = psi_i(phases[j])``.
+
+        All cardinal splines share the knot vector, so the whole matrix is
+        evaluated in one pass (one interval search for all splines) instead
+        of once per basis function; the arithmetic matches the per-spline
+        evaluation exactly.
+        """
         phases = ensure_1d(phases, "phases")
-        return np.column_stack([spline(phases) for spline in self._splines])
+        x = self.knots
+        idx = self._locate(phases)
+        h = x[idx + 1] - x[idx]
+        a = (x[idx + 1] - phases) / h
+        b = (phases - x[idx]) / h
+        y = self._knot_values
+        m = self._knot_second_derivatives
+        return (
+            a[:, None] * y[idx]
+            + b[:, None] * y[idx + 1]
+            + ((a**3 - a)[:, None] * m[idx] + (b**3 - b)[:, None] * m[idx + 1])
+            * (h**2)[:, None]
+            / 6.0
+        )
 
     def evaluate_derivative(self, phases: np.ndarray) -> np.ndarray:
         """First-derivative basis matrix ``B'[j, i] = psi_i'(phases[j])``."""
         phases = ensure_1d(phases, "phases")
-        return np.column_stack([spline.derivative(phases) for spline in self._splines])
+        x = self.knots
+        idx = self._locate(phases)
+        h = x[idx + 1] - x[idx]
+        a = (x[idx + 1] - phases) / h
+        b = (phases - x[idx]) / h
+        y = self._knot_values
+        m = self._knot_second_derivatives
+        return (
+            (y[idx + 1] - y[idx]) / h[:, None]
+            - ((3.0 * a**2 - 1.0) / 6.0 * h)[:, None] * m[idx]
+            + ((3.0 * b**2 - 1.0) / 6.0 * h)[:, None] * m[idx + 1]
+        )
 
     def evaluate_second_derivative(self, phases: np.ndarray) -> np.ndarray:
         """Second-derivative basis matrix ``B''[j, i] = psi_i''(phases[j])``."""
         phases = ensure_1d(phases, "phases")
-        return np.column_stack([spline.second_derivative(phases) for spline in self._splines])
+        idx = self._locate(phases)
+        x = self.knots
+        h = x[idx + 1] - x[idx]
+        a = (x[idx + 1] - phases) / h
+        b = (phases - x[idx]) / h
+        m = self._knot_second_derivatives
+        return a[:, None] * m[idx] + b[:, None] * m[idx + 1]
 
     def penalty_matrix(self) -> np.ndarray:
         """Roughness penalty ``Omega[i, j] = \\int psi_i''(phi) psi_j''(phi) dphi``.
 
         The integral is evaluated exactly (the second derivatives are
         piecewise linear), so the matrix is symmetric positive semi-definite
-        with the constant and linear functions in its null space.
+        with the constant and linear functions in its null space.  The matrix
+        is computed once per basis and cached; treat it as read-only.
         """
+        if self._penalty is not None:
+            return self._penalty
         n = self.num_basis
         omega = np.zeros((n, n))
         for i in range(n):
@@ -79,6 +130,7 @@ class SplineBasis:
                 value = self._splines[i].roughness_cross(self._splines[j])
                 omega[i, j] = value
                 omega[j, i] = value
+        self._penalty = omega
         return omega
 
     def profile(self, coefficients: np.ndarray, phases: np.ndarray) -> np.ndarray:

@@ -5,6 +5,12 @@ volume-density kernel (or the ingredients to build one) it turns a
 population-level expression time series into an estimate of the synchronous
 single-cell profile ``f(phi)``, handling basis construction, constraint
 assembly, smoothing-parameter selection and the constrained QP solve.
+
+Repeated fits against the same measurement grid (multi-species batches,
+bootstrap replicates, sensitivity sweeps) share a :class:`FitWorkspace`: the
+kernel, design matrix, penalty, constraint rows and the per-lambda QP
+factorizations are built once and reused, and each solve can be warm-started
+from a related previous fit via the ``warm_start`` argument.
 """
 
 from __future__ import annotations
@@ -24,6 +30,74 @@ from repro.core.problem import DeconvolutionProblem
 from repro.core.result import DeconvolutionResult
 from repro.utils.rng import SeedLike
 from repro.utils.validation import ensure_1d
+
+
+class FitWorkspace:
+    """Shared solve state for fits against one (times, sigma) measurement grid.
+
+    Built lazily by :meth:`Deconvolver.fit` and reused while the measurement
+    times and sigmas stay the same; holds the forward model and a template
+    :class:`DeconvolutionProblem` whose solver caches (weighted design, Gram,
+    per-lambda Hessian Cholesky factorizations, transformed constraint rows)
+    are shared by every fit through
+    :meth:`DeconvolutionProblem.with_measurements`.
+    """
+
+    def __init__(
+        self,
+        deconvolver: "Deconvolver",
+        times: np.ndarray,
+        sigma: np.ndarray | float | None,
+        rng: SeedLike,
+    ) -> None:
+        self.times = ensure_1d(times, "times").copy()
+        self.kernel = deconvolver.ensure_kernel(self.times, rng)
+        self.forward = ForwardModel(self.kernel, deconvolver.basis)
+        self.template = DeconvolutionProblem(
+            self.forward,
+            np.zeros(self.forward.num_measurements),
+            sigma=sigma,
+            constraints=deconvolver.constraints,
+            parameters=deconvolver.parameters,
+        )
+        # Identity snapshot of the deconvolver configuration this workspace
+        # froze; used to invalidate the cache if the (public) attributes are
+        # replaced or the constraint list edited between fits.
+        self.source_state = (
+            deconvolver.kernel,
+            deconvolver.basis,
+            deconvolver.parameters,
+            tuple(deconvolver.constraints),
+        )
+
+    def matches(self, deconvolver: "Deconvolver") -> bool:
+        """Whether this workspace still reflects the deconvolver's config."""
+        kernel, basis, parameters, constraints = self.source_state
+        return (
+            deconvolver.kernel is kernel
+            and deconvolver.basis is basis
+            and deconvolver.parameters is parameters
+            and tuple(deconvolver.constraints) == constraints
+        )
+
+    def problem_for(self, measurements: np.ndarray) -> DeconvolutionProblem:
+        """Problem instance for one measurement vector, sharing all caches."""
+        return self.template.with_measurements(measurements)
+
+    @staticmethod
+    def cache_key(
+        times: np.ndarray, sigma: np.ndarray | float | None
+    ) -> tuple[bytes, bytes]:
+        """Hashable identity of a (times, sigma) measurement grid."""
+        times = np.ascontiguousarray(np.asarray(times, dtype=float))
+        if sigma is None:
+            sigma_key = b"uniform"
+        else:
+            sigma_arr = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(sigma, dtype=float), times.shape)
+            )
+            sigma_key = sigma_arr.tobytes()
+        return times.tobytes(), sigma_key
 
 
 class Deconvolver:
@@ -69,6 +143,8 @@ class Deconvolver:
         else:
             self.constraints = list(constraints)
         self.solver_backend = solver_backend
+        self._workspace: Optional[FitWorkspace] = None
+        self._workspace_key: Optional[tuple[bytes, bytes]] = None
 
     def ensure_kernel(self, times: np.ndarray, rng: SeedLike = 0) -> VolumeKernel:
         """Return a kernel matching ``times``, building one if necessary."""
@@ -85,6 +161,28 @@ class Deconvolver:
         self.kernel = builder.build(times, rng)
         return self.kernel
 
+    def fit_workspace(
+        self,
+        times: np.ndarray,
+        *,
+        sigma: np.ndarray | float | None = None,
+        rng: SeedLike = 0,
+    ) -> FitWorkspace:
+        """Shared workspace for repeated fits on one (times, sigma) grid.
+
+        The most recent workspace is cached; asking for the same grid again
+        returns it (with all its factorizations) instead of rebuilding.
+        """
+        key = FitWorkspace.cache_key(times, sigma)
+        cached = self._workspace
+        # The cached workspace is only valid while the deconvolver still has
+        # the kernel/basis/parameters/constraints it was built from (all are
+        # public attributes and may be replaced between fits).
+        if cached is None or key != self._workspace_key or not cached.matches(self):
+            self._workspace = FitWorkspace(self, times, sigma, rng)
+            self._workspace_key = key
+        return self._workspace
+
     def build_problem(
         self,
         times: np.ndarray,
@@ -95,15 +193,8 @@ class Deconvolver:
     ) -> DeconvolutionProblem:
         """Assemble the optimisation problem for a measurement series."""
         measurements = ensure_1d(measurements, "measurements")
-        kernel = self.ensure_kernel(times, rng)
-        forward = ForwardModel(kernel, self.basis)
-        return DeconvolutionProblem(
-            forward,
-            measurements,
-            sigma=sigma,
-            constraints=self.constraints,
-            parameters=self.parameters,
-        )
+        workspace = self.fit_workspace(times, sigma=sigma, rng=rng)
+        return workspace.problem_for(measurements)
 
     def fit(
         self,
@@ -115,6 +206,7 @@ class Deconvolver:
         lambda_method: str = "gcv",
         lambda_grid: np.ndarray | None = None,
         rng: SeedLike = 0,
+        warm_start: DeconvolutionResult | None = None,
     ) -> DeconvolutionResult:
         """Deconvolve one population expression time series.
 
@@ -136,6 +228,11 @@ class Deconvolver:
             Candidate grid for the automatic selection.
         rng:
             Seed for kernel construction (when needed) and CV fold assignment.
+        warm_start:
+            Result of a related previous fit on the same grid (a bootstrap
+            base fit, the previous species in a batch); its coefficients and
+            active set warm-start the final QP solve.  Ignored when the basis
+            sizes differ.
 
         Returns
         -------
@@ -152,7 +249,14 @@ class Deconvolver:
             lam = selection.best_lambda
             lambda_path = selection.scores
 
-        qp_result = problem.solve(float(lam), backend=self.solver_backend)
+        warm_x = None
+        warm_active = None
+        if warm_start is not None and warm_start.coefficients.size == problem.num_coefficients:
+            warm_x = warm_start.coefficients
+            warm_active = warm_start.solver_active_set
+        qp_result = problem.solve(
+            float(lam), backend=self.solver_backend, x0=warm_x, active_set=warm_active
+        )
         coefficients = qp_result.x
         fitted = problem.forward.predict(coefficients)
         return DeconvolutionResult(
@@ -170,6 +274,7 @@ class Deconvolver:
             lambda_path=lambda_path,
             mean_cycle_time=self.parameters.mean_cycle_time,
             constraint_violations=problem.constraint_set.violations(coefficients),
+            solver_active_set=list(qp_result.active_set),
         )
 
     def fit_many(
@@ -184,21 +289,25 @@ class Deconvolver:
     ) -> list[DeconvolutionResult]:
         """Deconvolve several species sharing the same measurement times.
 
-        ``measurement_matrix`` has one column per species.
+        ``measurement_matrix`` has one column per species.  All species share
+        the kernel, design matrix, constraint rows and per-lambda QP
+        factorizations through one :class:`FitWorkspace`, and each species'
+        final solve is warm-started from the previous one.
         """
         matrix = np.asarray(measurement_matrix, dtype=float)
         if matrix.ndim != 2:
             raise ValueError("measurement_matrix must be two-dimensional")
-        results = []
+        results: list[DeconvolutionResult] = []
+        previous: DeconvolutionResult | None = None
         for column in range(matrix.shape[1]):
-            results.append(
-                self.fit(
-                    times,
-                    matrix[:, column],
-                    sigma=sigma,
-                    lam=lam,
-                    lambda_method=lambda_method,
-                    rng=rng,
-                )
+            previous = self.fit(
+                times,
+                matrix[:, column],
+                sigma=sigma,
+                lam=lam,
+                lambda_method=lambda_method,
+                rng=rng,
+                warm_start=previous,
             )
+            results.append(previous)
         return results

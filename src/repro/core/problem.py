@@ -12,11 +12,20 @@ which, with ``f`` in a spline basis and ``G_hat = A alpha``, is the quadratic
 with ``W = diag(1 / sigma_m^2)``.  Minimising it subject to the linear
 constraint rows yields a convex quadratic program solved by
 :func:`repro.numerics.qp.solve_qp`.
+
+Because every surrounding workload (lambda grids, cross-validation folds,
+bootstrap replicates, multi-species batches) solves long families of these
+QPs, the problem object caches the expensive invariants: the weighted design
+and Gram matrices, one assembled Hessian per ``lambda``, and one
+:class:`~repro.numerics.qp.QPWorkspace` (Cholesky factor plus transformed
+constraint rows) per ``lambda``.  :meth:`DeconvolutionProblem.with_measurements`
+derives a sibling problem for new data that *shares* all of those caches, so a
+bootstrap replicate solve touches nothing but a fresh gradient.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -24,7 +33,7 @@ from repro.cellcycle.parameters import CellCycleParameters
 from repro.core.basis import SplineBasis
 from repro.core.constraints import Constraint, ConstraintSet, build_constraint_set
 from repro.core.forward import ForwardModel
-from repro.numerics.qp import QPResult, QuadraticProgram, solve_qp
+from repro.numerics.qp import QPResult, QPWorkspace, QuadraticProgram, solve_qp
 from repro.utils.validation import check_positive, ensure_1d
 
 
@@ -77,6 +86,19 @@ class DeconvolutionProblem:
             self.constraints, self.basis, self.parameters
         )
         self._weights = 1.0 / self.sigma**2
+        self._init_solver_caches()
+
+    def _init_solver_caches(self) -> None:
+        """Fresh per-design caches (shared by :meth:`with_measurements` copies)."""
+        self._weighted_design: Optional[np.ndarray] = None
+        self._gram: Optional[np.ndarray] = None
+        self._gradient_cache: Optional[np.ndarray] = None
+        # Assembled programs are gradient-specific, hence per instance.
+        self._programs: dict[float, QuadraticProgram] = {}
+        # Keyed by float(lambda); shared (by reference) across sibling
+        # problems that differ only in their measurements.
+        self._hessians: dict[float, np.ndarray] = {}
+        self._workspaces: dict[float, QPWorkspace] = {}
 
     def _normalise_sigma(self, sigma: np.ndarray | float | None) -> np.ndarray:
         if sigma is None:
@@ -105,23 +127,70 @@ class DeconvolutionProblem:
         """Full cost ``C(lambda)`` of eq. 5."""
         return self.data_misfit(coefficients) + float(lam) * self.roughness(coefficients)
 
+    @property
+    def weighted_design(self) -> np.ndarray:
+        """Row-weighted design matrix ``W A`` (cached)."""
+        if self._weighted_design is None:
+            self._weighted_design = self.forward.design_matrix * self._weights[:, None]
+        return self._weighted_design
+
+    @property
+    def gram(self) -> np.ndarray:
+        """Weighted Gram matrix ``A^T W A``, exactly symmetrized (cached)."""
+        if self._gram is None:
+            gram = self.forward.design_matrix.T @ self.weighted_design
+            self._gram = 0.5 * (gram + gram.T)
+        return self._gram
+
+    def _gradient(self) -> np.ndarray:
+        """QP linear term ``-2 A^T W G`` for this problem's measurements."""
+        if self._gradient_cache is None:
+            self._gradient_cache = -2.0 * (self.weighted_design.T @ self.measurements)
+        return self._gradient_cache
+
+    def _hessian(self, lam: float) -> np.ndarray:
+        """Assembled (exactly symmetric) QP Hessian for ``lam``, cached."""
+        key = float(lam)
+        hessian = self._hessians.get(key)
+        if hessian is None:
+            hessian = 2.0 * (self.gram + key * self.penalty)
+            hessian += self.ridge * np.eye(self.num_coefficients)
+            self._hessians[key] = hessian
+        return hessian
+
     def quadratic_program(self, lam: float) -> QuadraticProgram:
-        """Build the convex QP for a given smoothing parameter."""
+        """Build the convex QP for a given smoothing parameter.
+
+        The Hessian is cached per ``lambda`` (and shared with sibling
+        problems from :meth:`with_measurements`); only the gradient depends
+        on the measurements.
+        """
         lam = check_positive(lam, "lam", strict=False)
-        design = self.forward.design_matrix
-        weighted_design = design * self._weights[:, None]
-        hessian = 2.0 * (design.T @ weighted_design + lam * self.penalty)
-        hessian += self.ridge * np.eye(self.num_coefficients)
-        gradient = -2.0 * (weighted_design.T @ self.measurements)
-        constraint_set = self.constraint_set
-        return QuadraticProgram(
-            hessian=hessian,
-            gradient=gradient,
-            eq_matrix=constraint_set.equality_matrix if constraint_set.has_equalities else None,
-            eq_vector=constraint_set.equality_vector if constraint_set.has_equalities else None,
-            ineq_matrix=constraint_set.inequality_matrix if constraint_set.has_inequalities else None,
-            ineq_vector=constraint_set.inequality_vector if constraint_set.has_inequalities else None,
-        )
+        program = self._programs.get(lam)
+        if program is None:
+            constraint_set = self.constraint_set
+            program = QuadraticProgram(
+                hessian=self._hessian(lam),
+                gradient=self._gradient(),
+                eq_matrix=constraint_set.equality_matrix if constraint_set.has_equalities else None,
+                eq_vector=constraint_set.equality_vector if constraint_set.has_equalities else None,
+                ineq_matrix=constraint_set.inequality_matrix if constraint_set.has_inequalities else None,
+                ineq_vector=constraint_set.inequality_vector if constraint_set.has_inequalities else None,
+            )
+            self._programs[lam] = program
+        return program
+
+    def solver_workspace(self, lam: float) -> Optional[QPWorkspace]:
+        """Shared :class:`QPWorkspace` (Cholesky + constraint transform) for ``lam``."""
+        key = float(lam)
+        workspace = self._workspaces.get(key)
+        if workspace is None:
+            try:
+                workspace = QPWorkspace(self.quadratic_program(key))
+            except np.linalg.LinAlgError:
+                return None
+            self._workspaces[key] = workspace
+        return workspace
 
     def solve(
         self,
@@ -129,10 +198,55 @@ class DeconvolutionProblem:
         *,
         backend: str = "auto",
         x0: np.ndarray | None = None,
+        active_set: Sequence[int] | None = None,
     ) -> QPResult:
-        """Solve the constrained problem for a given ``lambda``."""
+        """Solve the constrained problem for a given ``lambda``.
+
+        ``x0`` and ``active_set`` warm-start the active-set backend, e.g.
+        with the solution and final active set of a neighbouring lambda or a
+        previous bootstrap replicate.
+        """
         program = self.quadratic_program(lam)
-        return solve_qp(program, x0, backend=backend)
+        return solve_qp(
+            program,
+            x0,
+            backend=backend,
+            active_set=active_set,
+            workspace=self.solver_workspace(lam),
+        )
+
+    def with_measurements(self, measurements: np.ndarray) -> "DeconvolutionProblem":
+        """Sibling problem for new measurements sharing every solver cache.
+
+        The forward model, penalty, constraint rows, weighted design, Gram
+        matrix and the per-lambda Hessian/workspace caches are all shared by
+        reference; only the measurement vector (and hence the QP gradient)
+        changes.  This is the fast path for bootstrap replicates and
+        multi-species fits.
+        """
+        measurements = ensure_1d(measurements, "measurements")
+        if measurements.size != self.measurements.size:
+            raise ValueError("measurements length does not match the problem")
+        sibling = DeconvolutionProblem.__new__(DeconvolutionProblem)
+        sibling.forward = self.forward
+        sibling.measurements = measurements
+        sibling.parameters = self.parameters
+        sibling.sigma = self.sigma
+        sibling.constraints = self.constraints
+        sibling.ridge = self.ridge
+        sibling.basis = self.basis
+        sibling.penalty = self.penalty
+        sibling.constraint_set = self.constraint_set
+        sibling._weights = self._weights
+        # Force the lazy matrices on the parent so every sibling genuinely
+        # shares them instead of copying an unpopulated None slot.
+        sibling._weighted_design = self.weighted_design
+        sibling._gram = self.gram
+        sibling._gradient_cache = None
+        sibling._programs = {}
+        sibling._hessians = self._hessians
+        sibling._workspaces = self._workspaces
+        return sibling
 
     def restrict(self, indices: np.ndarray) -> "DeconvolutionProblem":
         """Problem restricted to a subset of measurements (for cross-validation)."""
@@ -148,4 +262,5 @@ class DeconvolutionProblem:
         restricted.penalty = self.penalty
         restricted.constraint_set = self.constraint_set
         restricted._weights = 1.0 / restricted.sigma**2
+        restricted._init_solver_caches()
         return restricted

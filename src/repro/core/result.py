@@ -39,6 +39,9 @@ class DeconvolutionResult:
         Whether the QP solver reported convergence.
     solver_iterations:
         Iterations used by the QP solver.
+    solver_active_set:
+        Inequality constraints active at the solution; warm-starts related
+        solves (bootstrap replicates, neighbouring lambdas, sibling species).
     lambda_path:
         Optional record of the lambda-selection scores (lambda -> score).
     mean_cycle_time:
@@ -59,6 +62,7 @@ class DeconvolutionResult:
     lambda_path: dict[float, float] = field(default_factory=dict)
     mean_cycle_time: float = 150.0
     constraint_violations: dict[str, float] = field(default_factory=dict)
+    solver_active_set: list[int] = field(default_factory=list)
 
     def profile(self, phases: np.ndarray | float) -> np.ndarray | float:
         """Evaluate the deconvolved profile ``f(phi)`` at the given phases."""

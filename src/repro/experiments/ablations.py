@@ -194,8 +194,14 @@ def run_lambda_ablation(
     deconvolver = Deconvolver(kernel, parameters=parameters, num_basis=num_basis)
     phases = np.linspace(0.0, 1.0, 201)
     scores: dict[str, float] = {}
+    previous = None
     for lam in lambdas:
-        result = deconvolver.fit(times, values, sigma=sigma, lam=float(lam))
+        # The sweep shares the deconvolver's fit workspace and warm-starts
+        # each lambda's solve from the previous one.
+        result = deconvolver.fit(
+            times, values, sigma=sigma, lam=float(lam), warm_start=previous
+        )
+        previous = result
         scores[f"lambda={lam:.3g}"] = nrmse(result.profile(phases), truth_profile(phases))
     for method in ("gcv", "kfold"):
         result = deconvolver.fit(times, values, sigma=sigma, lam=None, lambda_method=method)

@@ -1,4 +1,4 @@
-"""Dense convex quadratic programming.
+"""Dense convex quadratic programming with a reusable null-space workspace.
 
 The deconvolution estimate (Sec. 2.3 of the paper) is the solution of
 
@@ -6,18 +6,36 @@ The deconvolution estimate (Sec. 2.3 of the paper) is the solution of
     subject to  A_eq x  = b_eq          (RNA conservation, rate continuity)
                 A_in x >= b_in          (positivity of the expression)
 
-with ``H`` symmetric positive (semi-)definite.  This module provides a primal
-active-set solver for that problem class plus a thin wrapper that can also
-dispatch to SciPy's SLSQP as an alternative backend (useful for
-cross-checking).
+with ``H`` symmetric positive definite.  Every workload built on top of the
+estimator (lambda cross-validation, bootstrap bands, multi-species fits,
+sensitivity sweeps) solves long families of nearly identical QPs, so the
+solver is organised around a reusable :class:`QPWorkspace`:
+
+* the Hessian is factorized **once** (Cholesky ``H = L L^T``) per workspace
+  and shared by every solve that reuses the workspace -- e.g. all bootstrap
+  replicates of a fit, which differ only in the linear term;
+* the active-set iteration is a **null-space method**: the working-set
+  constraint rows are kept as a QR factorization in the Cholesky-transformed
+  coordinates, updated *incrementally* (Givens rotations) as constraints
+  enter and leave the working set, instead of rebuilding and re-solving a
+  dense ``(n+m) x (n+m)`` KKT system at every iteration;
+* solves accept a **warm start** (initial point plus initial working set) and
+  report the final active set, so a sequence of related solves -- a lambda
+  grid sweep, bootstrap replicates, a multi-species batch -- converges in a
+  handful of iterations each.
+
+:func:`solve_qp` is the backend dispatcher; SciPy's SLSQP remains available
+as a cross-check / fallback backend.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
+from scipy.linalg import get_lapack_funcs
 
 from repro.utils.validation import ensure_1d, ensure_2d
 
@@ -30,6 +48,9 @@ class QuadraticProgram:
     ----------
     hessian:
         Symmetric matrix ``H`` of the quadratic term, shape ``(n, n)``.
+        Asymmetry within a small tolerance (float noise from Gram-matrix
+        assembly) is repaired by symmetrizing ``0.5 * (H + H^T)``; asymmetry
+        beyond the tolerance raises.
     gradient:
         Linear term ``g``, shape ``(n,)``.
     eq_matrix, eq_vector:
@@ -51,8 +72,12 @@ class QuadraticProgram:
         n = self.gradient.size
         if self.hessian.shape != (n, n):
             raise ValueError("hessian shape does not match gradient length")
-        if not np.allclose(self.hessian, self.hessian.T, atol=1e-8):
-            raise ValueError("hessian must be symmetric")
+        if not np.array_equal(self.hessian, self.hessian.T):
+            if not np.allclose(self.hessian, self.hessian.T, atol=1e-8):
+                raise ValueError("hessian must be symmetric")
+            # Within tolerance but not exactly symmetric: repair the float
+            # noise instead of aborting the solve (Cholesky needs symmetry).
+            self.hessian = 0.5 * (self.hessian + self.hessian.T)
         if (self.eq_matrix is None) != (self.eq_vector is None):
             raise ValueError("eq_matrix and eq_vector must be provided together")
         if (self.ineq_matrix is None) != (self.ineq_vector is None):
@@ -102,35 +127,408 @@ class QPResult:
     message: str = ""
 
 
-def _solve_kkt(hessian: np.ndarray, gradient: np.ndarray, constraints: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Solve the equality-constrained KKT system.
+def _cholesky_with_jitter(hessian: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor, adding an escalating diagonal jitter if needed.
 
-    Returns the step ``p`` minimising ``0.5 p^T H p + gradient^T p`` subject to
-    ``constraints @ p = 0`` and the Lagrange multipliers of those constraints.
+    The deconvolution Hessians carry an explicit ridge and are strictly
+    positive definite; the jitter only engages for borderline user-supplied
+    problems (it perturbs the optimum by at most the jitter size).
     """
-    n = gradient.size
-    m = constraints.shape[0]
-    kkt = np.zeros((n + m, n + m))
-    kkt[:n, :n] = hessian
-    if m:
-        kkt[:n, n:] = constraints.T
-        kkt[n:, :n] = constraints
-    rhs = np.concatenate([-gradient, np.zeros(m)])
     try:
-        solution = np.linalg.solve(kkt, rhs)
+        return np.linalg.cholesky(hessian)
     except np.linalg.LinAlgError:
-        solution, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
-    return solution[:n], solution[n:]
+        pass
+    scale = float(np.max(np.abs(np.diag(hessian))), )
+    scale = scale if scale > 0 else 1.0
+    identity = np.eye(hessian.shape[0])
+    for exponent in (-12, -10, -8, -6):
+        try:
+            return np.linalg.cholesky(hessian + (scale * 10.0**exponent) * identity)
+        except np.linalg.LinAlgError:
+            continue
+    raise np.linalg.LinAlgError("hessian is not positive definite")
+
+
+class QPWorkspace:
+    """Shared factorization state for a family of related QPs.
+
+    The workspace is bound to one ``(hessian, constraint matrices)`` triple:
+    it stores the Cholesky factor ``L`` of the Hessian and the constraint
+    rows pre-transformed into the triangular coordinates
+    (``L^{-1} A^T`` columns), so any number of solves over different linear
+    terms, starting points and warm-start active sets reuse the expensive
+    pieces.  During a solve it maintains a QR factorization of the
+    working-set columns that is updated incrementally (one Givens sweep per
+    constraint entering or leaving) rather than refactorized.
+
+    Not thread-safe: a workspace runs one solve at a time.
+
+    Parameters
+    ----------
+    problem:
+        Problem whose Hessian and constraints define the family.  The
+        ``gradient`` of this problem is only a default; :meth:`solve` accepts
+        a per-solve linear term.
+    """
+
+    def __init__(self, problem: QuadraticProgram) -> None:
+        n = problem.num_variables
+        self.num_variables = n
+        self.hessian = problem.hessian
+        self.default_gradient = problem.gradient
+        self.eq_matrix = problem.eq_matrix if problem.eq_matrix is not None else np.zeros((0, n))
+        self.eq_vector = problem.eq_vector if problem.eq_vector is not None else np.zeros(0)
+        self.ineq_matrix = (
+            problem.ineq_matrix if problem.ineq_matrix is not None else np.zeros((0, n))
+        )
+        self.ineq_vector = (
+            problem.ineq_vector if problem.ineq_vector is not None else np.zeros(0)
+        )
+        self.num_eq = self.eq_matrix.shape[0]
+        self.num_ineq = self.ineq_matrix.shape[0]
+
+        self.cholesky = _cholesky_with_jitter(self.hessian)
+        # Raw LAPACK triangular solver: an order of magnitude less call
+        # overhead than scipy.linalg.solve_triangular at these sizes.
+        (self._trtrs,) = get_lapack_funcs(("trtrs",), (self.cholesky,))
+        # Constraint rows transformed once into the triangular coordinates:
+        # column i is L^{-1} a_i for constraint row a_i.
+        if self.num_eq:
+            self._eq_columns, _ = self._trtrs(
+                self.cholesky, np.asfortranarray(self.eq_matrix.T), lower=1, trans=0
+            )
+        else:
+            self._eq_columns = np.zeros((n, 0))
+        # The inequality columns are only needed once a row enters the
+        # working set, so they are transformed lazily (solves whose working
+        # set stays empty skip the batch triangular solve entirely).
+        self._ineq_columns: Optional[np.ndarray] = None
+        # The zero vector's feasibility never changes; checking it once lets
+        # default-start solves skip the per-call constraint sweep.
+        self._zero_feasible = self._is_feasible(np.zeros(n), tol=1e-6)
+        # Incremental QR state of the working-set columns (valid mid-solve).
+        self._q = np.eye(n)
+        self._r = np.zeros((n, n))
+        self._k = 0
+        # Factorize the (never-changing) equality columns once; resets then
+        # just copy this snapshot instead of re-orthogonalising per solve.
+        for j in range(self.num_eq):
+            # Degenerate equality rows are skipped: the dependent row is
+            # implied by the others.
+            self._append_column(self._eq_columns[:, j])
+        self._q0 = self._q.copy()
+        self._r0 = self._r.copy()
+        self._k0 = self._k
+        # Number of equality columns actually inside the factorization; when
+        # dependent equality rows were skipped this is smaller than num_eq,
+        # and the multiplier bookkeeping must use this count.
+        self._num_eq_factored = self._k
+
+    def matches(self, problem: QuadraticProgram) -> bool:
+        """Whether ``problem`` shares this workspace's Hessian and constraints.
+
+        Identity checks only -- the caller is responsible for passing problems
+        built from the same cached arrays.
+        """
+        eq = problem.eq_matrix if problem.eq_matrix is not None else None
+        ineq = problem.ineq_matrix if problem.ineq_matrix is not None else None
+        return (
+            problem.hessian is self.hessian
+            and (eq is None) == (self.num_eq == 0)
+            and (ineq is None) == (self.num_ineq == 0)
+            and (eq is None or eq is self.eq_matrix)
+            and (ineq is None or ineq is self.ineq_matrix)
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental QR of the working-set columns in transformed coordinates.
+    # ------------------------------------------------------------------
+
+    def _ineq_column(self, index: int) -> np.ndarray:
+        """Transformed column ``L^{-1} a_index`` of an inequality row."""
+        if self._ineq_columns is None:
+            self._ineq_columns, _ = self._trtrs(
+                self.cholesky, np.asfortranarray(self.ineq_matrix.T), lower=1, trans=0
+            )
+        return self._ineq_columns[:, index]
+
+    def _reset_factorization(self) -> None:
+        """Restart the QR factorization with the equality-only working set."""
+        np.copyto(self._q, self._q0)
+        np.copyto(self._r, self._r0)
+        self._k = self._k0
+
+    def _append_column(self, column: np.ndarray, dep_tol: float = 1e-11) -> bool:
+        """Add one transformed constraint column to the QR factorization.
+
+        One Householder reflection maps the column's out-of-range components
+        onto coordinate ``k``.  Returns ``False`` (leaving the factorization
+        unchanged) when the column is numerically dependent on the current
+        working set.
+        """
+        n, k = self.num_variables, self._k
+        if k >= n:
+            return False
+        w = self._q.T @ column
+        tail = w[k:]
+        tail_norm = math.sqrt(float(tail @ tail))
+        scale = max(1.0, math.sqrt(float(column @ column)))
+        if tail_norm <= dep_tol * scale:
+            return False
+        # Reflection H v = beta e1 with the sign chosen to avoid cancellation.
+        beta = -tail_norm if tail[0] >= 0.0 else tail_norm
+        v = tail.copy()
+        v[0] -= beta
+        vv = float(v @ v)
+        if vv > 0.0:
+            trailing = self._q[:, k:]
+            trailing -= np.outer(trailing @ v, (2.0 / vv) * v)
+        self._r[:, k] = 0.0
+        self._r[:k, k] = w[:k]
+        self._r[k, k] = beta
+        self._k = k + 1
+        return True
+
+    def _remove_column(self, position: int) -> None:
+        """Drop the working-set column at ``position`` (eq columns excluded)."""
+        j = self._num_eq_factored + position
+        k = self._k
+        r = self._r
+        r[:, j : k - 1] = r[:, j + 1 : k]
+        r[:, k - 1] = 0.0
+        self._k = k - 1
+        # The shifted columns are upper Hessenberg; one Givens sweep restores
+        # the triangle while keeping Q orthogonal.
+        for c in range(j, self._k):
+            a, b = r[c, c], r[c + 1, c]
+            if b == 0.0:
+                continue
+            radius = math.hypot(a, b)
+            cos_t, sin_t = a / radius, b / radius
+            top = cos_t * r[c, c : self._k] + sin_t * r[c + 1, c : self._k]
+            bottom = cos_t * r[c + 1, c : self._k] - sin_t * r[c, c : self._k]
+            r[c, c : self._k] = top
+            r[c + 1, c : self._k] = bottom
+            r[c + 1, c] = 0.0
+            q_lo = self._q[:, c] * cos_t + self._q[:, c + 1] * sin_t
+            q_hi = self._q[:, c + 1] * cos_t - self._q[:, c] * sin_t
+            self._q[:, c] = q_lo
+            self._q[:, c + 1] = q_hi
+
+    # ------------------------------------------------------------------
+    # Null-space active-set solve.
+    # ------------------------------------------------------------------
+
+    def _objective(self, x: np.ndarray, gradient: np.ndarray) -> float:
+        return float(0.5 * x @ self.hessian @ x + gradient @ x)
+
+    def _is_feasible(self, x: np.ndarray, tol: float) -> bool:
+        if self.num_eq:
+            residual = self.eq_matrix @ x - self.eq_vector
+            if max(residual.max(), -residual.min()) > tol:
+                return False
+        if self.num_ineq and (self.ineq_matrix @ x - self.ineq_vector).min() < -tol:
+            return False
+        return True
+
+    def solve(
+        self,
+        gradient: Optional[np.ndarray] = None,
+        *,
+        x0: Optional[np.ndarray] = None,
+        active_set: Optional[Sequence[int]] = None,
+        max_iterations: int = 500,
+        tol: float = 1e-9,
+    ) -> QPResult:
+        """Null-space active-set solve for one member of the QP family.
+
+        Parameters
+        ----------
+        gradient:
+            Linear term of this solve; defaults to the gradient of the
+            problem the workspace was built from.
+        x0:
+            Feasible starting point (defaults to zero).  A ``ValueError`` is
+            raised if it is infeasible — unless an ``active_set`` is also
+            given (warm-start context), in which case the solve degrades to
+            a cold start from zero when zero is feasible.
+        active_set:
+            Warm-start working set: inequality-constraint indices to activate
+            initially.  Indices that are not (near-)active at ``x0`` or are
+            linearly dependent on the rest are silently dropped, so the final
+            ``active_set`` of a previous, related solve can be passed
+            verbatim.
+        max_iterations, tol:
+            Iteration cap and numerical tolerance of the active-set loop.
+        """
+        n = self.num_variables
+        if gradient is None:
+            g = self.default_gradient
+        else:
+            g = np.asarray(gradient, dtype=float)
+            if g.ndim != 1:
+                g = ensure_1d(gradient, "gradient")
+        if g.size != n:
+            raise ValueError("gradient has the wrong length")
+        if x0 is None:
+            x = np.zeros(n)
+        else:
+            x = np.asarray(x0, dtype=float)
+            if x.ndim != 1:
+                x = ensure_1d(x0, "x0")
+            x = x.copy()
+        if x.size != n:
+            raise ValueError("x0 has the wrong length")
+        feasible = self._zero_feasible if x0 is None else self._is_feasible(x, tol=1e-6)
+        if not feasible:
+            # Warm starts (x0 together with an active set) are best-effort:
+            # automated callers hand over previous solutions that may carry
+            # fallback-backend constraint violations, so degrade to a cold
+            # start instead of aborting the whole sweep.  A bare explicit x0
+            # keeps the strict contract.
+            if active_set is not None and self._zero_feasible:
+                x = np.zeros(n)
+                active_set = None
+            else:
+                raise ValueError("the starting point x0 is not feasible")
+
+        lower = self.cholesky
+        trtrs = self._trtrs
+        hessian = self.hessian
+        ineq_matrix = self.ineq_matrix
+        num_eq_factored, num_ineq = self._num_eq_factored, self.num_ineq
+
+        # (Re)build the QR factorization: equality rows always, then any
+        # warm-start inequality rows that are actually active at x.
+        self._reset_factorization()
+        working: list[int] = []
+        in_working = np.zeros(num_ineq, dtype=bool)
+        if active_set:
+            slack0 = self.ineq_matrix @ x - self.ineq_vector if num_ineq else np.zeros(0)
+            for index in active_set:
+                index = int(index)
+                if index < 0 or index >= num_ineq or in_working[index]:
+                    continue
+                if abs(slack0[index]) > 1e-6 * (1.0 + abs(self.ineq_vector[index])):
+                    continue
+                if self._append_column(self._ineq_column(index)):
+                    working.append(index)
+                    in_working[index] = True
+
+        # Anti-cycling: after a run of degenerate (zero-length) steps, switch
+        # to Bland's smallest-index pivoting, which cannot cycle.
+        stalled = 0
+        use_bland = False
+
+        for iteration in range(1, max_iterations + 1):
+            gradient_at_x = hessian @ x + g
+            d, _ = trtrs(lower, gradient_at_x, lower=1, trans=0)
+            k = self._k
+            if k < n:
+                null_basis = self._q[:, k:]
+                q_step = -(null_basis @ (null_basis.T @ d))
+                step, _ = trtrs(lower, q_step, lower=1, trans=1)
+            else:
+                step = np.zeros(n)
+
+            if math.sqrt(float(step @ step)) <= tol * max(
+                1.0, math.sqrt(float(x @ x))
+            ):
+                # Stationary on the working set: check the multipliers of the
+                # active inequality rows.  Stationarity reads
+                # ``H p + C^T mu = -(H x + g)``, so the Lagrange multipliers
+                # of the ``a_i^T x >= b_i`` constraints are ``-mu``.
+                if k > num_eq_factored:
+                    range_basis = self._q[:, :k]
+                    mu, _ = trtrs(
+                        np.ascontiguousarray(self._r[:k, :k]),
+                        -(range_basis.T @ d),
+                        lower=0,
+                        trans=0,
+                    )
+                    lagrange = -mu[num_eq_factored:]
+                else:
+                    lagrange = np.zeros(0)
+                if lagrange.size == 0 or float(lagrange.min()) >= -tol:
+                    return QPResult(
+                        x=x,
+                        objective=self._objective(x, g),
+                        iterations=iteration,
+                        converged=True,
+                        active_set=sorted(working),
+                        message="optimal",
+                    )
+                if use_bland:
+                    negative = np.flatnonzero(lagrange < -tol)
+                    worst = int(min(negative, key=lambda i: working[i]))
+                else:
+                    worst = int(np.argmin(lagrange))
+                self._remove_column(worst)
+                in_working[working.pop(worst)] = False
+                continue
+
+            # Largest feasible step length along ``step`` (vectorized ratio
+            # test over the inactive inequality rows).
+            alpha = 1.0
+            blocking = None
+            if num_ineq:
+                directional = ineq_matrix @ step
+                candidates = np.flatnonzero((directional < -tol) & ~in_working)
+                if candidates.size:
+                    slack = ineq_matrix @ x - self.ineq_vector
+                    ratios = -slack[candidates] / directional[candidates]
+                    position = int(np.argmin(ratios))
+                    if ratios[position] < alpha:
+                        alpha = float(max(ratios[position], 0.0))
+                        if use_bland:
+                            tied = ratios <= ratios[position] + tol
+                            blocking = int(candidates[tied].min())
+                        else:
+                            blocking = int(candidates[position])
+            x = x + alpha * step
+            if blocking is not None and alpha <= tol:
+                stalled += 1
+                if stalled >= 12:
+                    use_bland = True
+            elif alpha > tol:
+                stalled = 0
+            if blocking is not None:
+                if self._append_column(self._ineq_column(blocking)):
+                    working.append(blocking)
+                    in_working[blocking] = True
+                else:
+                    # The blocking row is dependent on the working set: the
+                    # iteration cannot make progress without cycling, so hand
+                    # the problem to the fallback backend.
+                    return QPResult(
+                        x=x,
+                        objective=self._objective(x, g),
+                        iterations=iteration,
+                        converged=False,
+                        active_set=sorted(working),
+                        message="degenerate working set",
+                    )
+
+        return QPResult(
+            x=x,
+            objective=self._objective(x, g),
+            iterations=max_iterations,
+            converged=False,
+            active_set=sorted(working),
+            message="maximum iterations reached",
+        )
 
 
 def solve_qp_active_set(
     problem: QuadraticProgram,
     x0: Optional[np.ndarray] = None,
     *,
+    active_set: Optional[Sequence[int]] = None,
+    workspace: Optional[QPWorkspace] = None,
     max_iterations: int = 500,
     tol: float = 1e-9,
 ) -> QPResult:
-    """Primal active-set method for a convex QP.
+    """Primal null-space active-set method for a convex QP.
 
     Parameters
     ----------
@@ -141,83 +539,35 @@ def solve_qp_active_set(
         Feasible starting point.  Defaults to the zero vector, which is
         feasible for the homogeneous constraints arising in deconvolution;
         a ``ValueError`` is raised if the starting point is infeasible.
+    active_set:
+        Warm-start working set (inequality-row indices), typically the
+        ``active_set`` of a previous, related solve.
+    workspace:
+        Reusable :class:`QPWorkspace`; one is created on the fly when omitted
+        or when it does not match the problem's Hessian/constraints.
     max_iterations:
         Iteration cap for the active-set loop.
     tol:
         Numerical tolerance used for step, feasibility and multiplier tests.
     """
-    n = problem.num_variables
-    x = np.zeros(n) if x0 is None else ensure_1d(x0, "x0").copy()
-    if x.size != n:
-        raise ValueError("x0 has the wrong length")
-    if not problem.is_feasible(x, tol=1e-6):
-        raise ValueError("the starting point x0 is not feasible")
-
-    eq_matrix = problem.eq_matrix if problem.eq_matrix is not None else np.zeros((0, n))
-    ineq_matrix = problem.ineq_matrix if problem.ineq_matrix is not None else np.zeros((0, n))
-    ineq_vector = problem.ineq_vector if problem.ineq_vector is not None else np.zeros(0)
-    num_ineq = ineq_matrix.shape[0]
-
-    # Working set holds indices of inequality constraints treated as equalities.
-    # It starts empty even when some constraints are active at x0 (a common,
-    # degenerate situation here: the zero start activates every positivity
-    # row); blocking constraints are added one at a time as zero-length steps
-    # are taken, which keeps the KKT systems well conditioned.
-    working: set[int] = set()
-
-    for iteration in range(1, max_iterations + 1):
-        active_rows = ineq_matrix[sorted(working)] if working else np.zeros((0, n))
-        constraint_matrix = np.vstack([eq_matrix, active_rows]) if (eq_matrix.size or active_rows.size) else np.zeros((0, n))
-        gradient_at_x = problem.hessian @ x + problem.gradient
-        step, multipliers = _solve_kkt(problem.hessian, gradient_at_x, constraint_matrix)
-
-        if np.linalg.norm(step) <= tol * max(1.0, np.linalg.norm(x)):
-            # Stationary on the working set: check the KKT multipliers of the
-            # active inequality constraints.  The KKT solve returns multipliers
-            # for the system ``H p + C^T mu = -(H x + g)``, so the Lagrange
-            # multipliers of the ``a_i^T x >= b_i`` constraints are ``-mu``.
-            num_eq = eq_matrix.shape[0]
-            lagrange = -multipliers[num_eq:]
-            if lagrange.size == 0 or np.all(lagrange >= -tol):
-                return QPResult(
-                    x=x,
-                    objective=problem.objective(x),
-                    iterations=iteration,
-                    converged=True,
-                    active_set=sorted(working),
-                    message="optimal",
-                )
-            # Drop the active constraint with the most negative multiplier.
-            worst = int(np.argmin(lagrange))
-            working.remove(sorted(working)[worst])
-            continue
-
-        # Determine the largest feasible step length along ``step``.
-        alpha = 1.0
-        blocking = None
-        if num_ineq:
-            inactive = [i for i in range(num_ineq) if i not in working]
-            if inactive:
-                rows = ineq_matrix[inactive]
-                directional = rows @ step
-                slack = rows @ x - ineq_vector[inactive]
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    ratios = np.where(directional < -tol, -slack / directional, np.inf)
-                best = int(np.argmin(ratios))
-                if ratios[best] < alpha:
-                    alpha = float(max(ratios[best], 0.0))
-                    blocking = inactive[best]
-        x = x + alpha * step
-        if blocking is not None:
-            working.add(blocking)
-
-    return QPResult(
-        x=x,
-        objective=problem.objective(x),
-        iterations=max_iterations,
-        converged=False,
-        active_set=sorted(working),
-        message="maximum iterations reached",
+    if workspace is None or not workspace.matches(problem):
+        try:
+            workspace = QPWorkspace(problem)
+        except np.linalg.LinAlgError as error:
+            start = np.zeros(problem.num_variables) if x0 is None else ensure_1d(x0, "x0")
+            return QPResult(
+                x=start.copy(),
+                objective=problem.objective(start),
+                iterations=0,
+                converged=False,
+                message=str(error),
+            )
+    return workspace.solve(
+        problem.gradient,
+        x0=x0,
+        active_set=active_set,
+        max_iterations=max_iterations,
+        tol=tol,
     )
 
 
@@ -266,21 +616,39 @@ def solve_qp(
     x0: Optional[np.ndarray] = None,
     *,
     backend: str = "auto",
+    active_set: Optional[Sequence[int]] = None,
+    workspace: Optional[QPWorkspace] = None,
     max_iterations: int = 500,
     tol: float = 1e-9,
 ) -> QPResult:
     """Solve a convex QP with the selected backend.
 
-    Backends: ``"active_set"`` (in-repo solver), ``"scipy"`` (SLSQP), or
-    ``"auto"`` which runs the active-set solver and falls back to SciPy if it
-    fails to converge or returns an infeasible point.
+    Backends: ``"active_set"`` (in-repo null-space solver), ``"scipy"``
+    (SLSQP), or ``"auto"`` which runs the active-set solver and falls back to
+    SciPy if it fails to converge or returns an infeasible point.  The
+    ``active_set`` warm start and the shared ``workspace`` apply to the
+    active-set backend only.
     """
     if backend == "active_set":
-        return solve_qp_active_set(problem, x0, max_iterations=max_iterations, tol=tol)
+        return solve_qp_active_set(
+            problem,
+            x0,
+            active_set=active_set,
+            workspace=workspace,
+            max_iterations=max_iterations,
+            tol=tol,
+        )
     if backend == "scipy":
         return _solve_qp_scipy(problem, x0)
     if backend == "auto":
-        result = solve_qp_active_set(problem, x0, max_iterations=max_iterations, tol=tol)
+        result = solve_qp_active_set(
+            problem,
+            x0,
+            active_set=active_set,
+            workspace=workspace,
+            max_iterations=max_iterations,
+            tol=tol,
+        )
         if result.converged and problem.is_feasible(result.x, tol=1e-6):
             return result
         fallback = _solve_qp_scipy(problem, x0)

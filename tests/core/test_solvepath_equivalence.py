@@ -1,0 +1,276 @@
+"""Equivalence tests for the shared-factorization solve path.
+
+The PR-level guarantee: warm-started / cache-sharing solves across the QP,
+lambda-search, bootstrap and kernel layers must reproduce the results of the
+corresponding cold, from-scratch computations (scores and profiles within
+1e-6, objectives within 1e-8).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.kernel import KernelBuilder
+from repro.cellcycle.population import PopulationSimulator
+from repro.core.basis import SplineBasis
+from repro.core.constraints import default_constraints
+from repro.core.deconvolver import Deconvolver
+from repro.core.forward import ForwardModel
+from repro.core.lambda_selection import (
+    _gcv_scores_dense,
+    _gcv_scores_eig,
+    default_lambda_grid,
+    k_fold_cross_validation,
+)
+from repro.core.problem import DeconvolutionProblem
+from repro.core.uncertainty import bootstrap_deconvolution
+from repro.data.noise import GaussianMagnitudeNoise
+from repro.data.synthetic import single_pulse_profile
+from repro.utils.gridding import bin_edges
+
+
+@pytest.fixture(scope="module")
+def noisy_problem(small_kernel, paper_parameters):
+    truth = single_pulse_profile(center=0.45, width=0.12, amplitude=2.0, baseline=0.3)
+    clean = small_kernel.apply_function(truth)
+    noise = GaussianMagnitudeNoise(0.08)
+    values = noise.apply(clean, 17)
+    sigma = noise.standard_deviations(clean)
+    forward = ForwardModel(small_kernel, SplineBasis(num_basis=12))
+    return DeconvolutionProblem(
+        forward,
+        values,
+        sigma=sigma,
+        constraints=default_constraints(),
+        parameters=paper_parameters,
+    )
+
+
+class TestGCVEquivalence:
+    def test_eig_scores_match_dense_scores(self, noisy_problem):
+        lambdas = default_lambda_grid(9, 1e-6, 1e2)
+        dense = _gcv_scores_dense(noisy_problem, lambdas)
+        eig = _gcv_scores_eig(noisy_problem, lambdas)
+        assert set(dense) == set(eig)
+        for lam, score in dense.items():
+            assert eig[lam] == pytest.approx(score, rel=1e-8, abs=1e-10)
+
+    def test_eig_path_handles_unweighted_problem(self, small_kernel, paper_parameters):
+        forward = ForwardModel(small_kernel, SplineBasis(num_basis=10))
+        values = small_kernel.apply_function(
+            single_pulse_profile(amplitude=1.0, baseline=0.2)
+        )
+        problem = DeconvolutionProblem(forward, values, parameters=paper_parameters)
+        lambdas = default_lambda_grid(5, 1e-4, 1e1)
+        dense = _gcv_scores_dense(problem, lambdas)
+        eig = _gcv_scores_eig(problem, lambdas)
+        for lam, score in dense.items():
+            assert eig[lam] == pytest.approx(score, rel=1e-8, abs=1e-10)
+
+
+class TestKFoldEquivalence:
+    def test_warm_sweep_matches_cold_per_lambda_solves(self, noisy_problem):
+        """The warm-started descending sweep scores equal per-(fold, lambda)
+        cold solves to well within the solver tolerance."""
+        lambdas = default_lambda_grid(6, 1e-5, 1e1)
+        warm = k_fold_cross_validation(noisy_problem, lambdas, num_folds=4, rng=3)
+
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(3)
+        permutation = generator.permutation(noisy_problem.measurements.size)
+        folds = np.array_split(permutation, 4)
+        cold_scores = {float(lam): 0.0 for lam in lambdas}
+        for fold in folds:
+            train = np.setdiff1d(permutation, fold)
+            train_problem = noisy_problem.restrict(train)
+            held_out = noisy_problem.forward.restrict(fold)
+            for lam in lambdas:
+                result = train_problem.solve(float(lam), backend="auto")
+                assert result.converged
+                residual = noisy_problem.measurements[fold] - held_out.predict(result.x)
+                cold_scores[float(lam)] += float(
+                    np.sum((residual / noisy_problem.sigma[fold]) ** 2)
+                )
+        for lam, score in cold_scores.items():
+            assert warm.scores[lam] == pytest.approx(score, rel=1e-6, abs=1e-6)
+
+
+class TestBootstrapEquivalence:
+    def test_warm_replicates_match_cold_refits(self, small_kernel, paper_parameters):
+        truth = single_pulse_profile(center=0.45, width=0.1, amplitude=2.0, baseline=0.3)
+        clean = small_kernel.apply_function(truth)
+        noise = GaussianMagnitudeNoise(0.06)
+        values = noise.apply(clean, 4)
+        sigma = noise.standard_deviations(clean)
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        band = bootstrap_deconvolution(
+            deconvolver,
+            small_kernel.times,
+            values,
+            sigma=sigma,
+            lam=1e-3,
+            num_replicates=6,
+            num_phase_points=61,
+            rng=0,
+        )
+        # Re-generate the replicate data streams and refit each one from
+        # scratch with a fresh deconvolver (no shared caches, no warm start).
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(0)
+        base = deconvolver.fit(
+            small_kernel.times, values, sigma=sigma, lam=1e-3, rng=generator
+        )
+        phases = np.linspace(0.0, 1.0, 61)
+        for index in range(6):
+            noise_draw = generator.normal(0.0, base.sigma)
+            synthetic = base.fitted + noise_draw
+            cold = Deconvolver(
+                small_kernel, parameters=paper_parameters, num_basis=12
+            ).fit(small_kernel.times, synthetic, sigma=sigma, lam=1e-3)
+            assert band.replicates[index] == pytest.approx(
+                cold.profile(phases), abs=1e-6
+            )
+
+
+class TestFitManyEquivalence:
+    def test_batch_matches_individual_fits(self, small_kernel, paper_parameters):
+        truths = [
+            single_pulse_profile(center=c, width=0.1, amplitude=2.0, baseline=0.3)
+            for c in (0.3, 0.5, 0.7)
+        ]
+        matrix = np.column_stack([small_kernel.apply_function(t) for t in truths])
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        batch = deconvolver.fit_many(small_kernel.times, matrix, lam=1e-3)
+        phases = np.linspace(0.0, 1.0, 101)
+        for column, result in enumerate(batch):
+            solo = Deconvolver(
+                small_kernel, parameters=paper_parameters, num_basis=12
+            ).fit(small_kernel.times, matrix[:, column], lam=1e-3)
+            assert result.profile(phases) == pytest.approx(solo.profile(phases), abs=1e-6)
+
+    def test_replacing_kernel_invalidates_workspace(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        values = small_kernel.apply_function(single_pulse_profile(amplitude=1.0))
+        first = deconvolver.fit(small_kernel.times, values, lam=1e-3)
+        other_kernel = KernelBuilder(
+            paper_parameters, num_cells=1500, phase_bins=small_kernel.num_bins
+        ).build(small_kernel.times, rng=77)
+        deconvolver.kernel = other_kernel
+        second = deconvolver.fit(small_kernel.times, values, lam=1e-3)
+        assert deconvolver.fit_workspace(small_kernel.times).kernel is other_kernel
+        # Different kernel, same data -> a genuinely different fit.
+        assert not np.allclose(first.coefficients, second.coefficients)
+
+    def test_replacing_constraints_invalidates_workspace(self, small_kernel, paper_parameters):
+        values = small_kernel.apply_function(single_pulse_profile(amplitude=1.5, baseline=0.0))
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        constrained = deconvolver.fit(small_kernel.times, values, lam=1e-4)
+        deconvolver.constraints = []
+        unconstrained = deconvolver.fit(small_kernel.times, values, lam=1e-4)
+        # The new (empty) constraint stack must actually take effect.
+        assert deconvolver.fit_workspace(small_kernel.times).template.constraints == []
+        assert not np.array_equal(constrained.coefficients, unconstrained.coefficients)
+
+    def test_siblings_share_computed_matrices(self, noisy_problem):
+        sibling = noisy_problem.with_measurements(noisy_problem.measurements + 1.0)
+        assert sibling._weighted_design is not None
+        assert sibling._weighted_design is noisy_problem._weighted_design
+        assert sibling._gram is noisy_problem._gram
+
+    def test_workspace_shared_across_batch(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        matrix = np.column_stack(
+            [small_kernel.apply_function(single_pulse_profile(amplitude=a)) for a in (1.0, 2.0)]
+        )
+        deconvolver.fit_many(small_kernel.times, matrix, lam=1e-3)
+        workspace = deconvolver.fit_workspace(small_kernel.times)
+        # Same grid -> same cached workspace object with its factorizations.
+        assert deconvolver.fit_workspace(small_kernel.times) is workspace
+        assert 1e-3 in workspace.template._workspaces
+
+
+class TestWithMeasurements:
+    def test_sibling_problem_matches_fresh_problem(self, noisy_problem, rng):
+        new_values = noisy_problem.measurements + 0.01 * rng.normal(
+            size=noisy_problem.measurements.size
+        )
+        sibling = noisy_problem.with_measurements(new_values)
+        fresh = DeconvolutionProblem(
+            noisy_problem.forward,
+            new_values,
+            sigma=noisy_problem.sigma,
+            constraints=noisy_problem.constraints,
+            parameters=noisy_problem.parameters,
+        )
+        warm = sibling.solve(1e-3, backend="active_set")
+        cold = fresh.solve(1e-3, backend="active_set")
+        assert warm.converged and cold.converged
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-8)
+        # The Hessian/workspace caches are shared by reference.
+        assert sibling._hessians is noisy_problem._hessians
+        assert sibling._workspaces is noisy_problem._workspaces
+
+    def test_length_mismatch_rejected(self, noisy_problem):
+        with pytest.raises(ValueError):
+            noisy_problem.with_measurements(np.ones(3))
+
+
+class TestKernelBuildEquivalence:
+    def test_vectorized_build_matches_per_time_reference(self, paper_parameters):
+        times = np.array([0.0, 30.0, 75.0, 120.0, 150.0])
+        builder = KernelBuilder(paper_parameters, num_cells=2500, phase_bins=50)
+        simulator = PopulationSimulator(
+            paper_parameters, builder.volume_model, builder.initial_condition
+        )
+        history = simulator.run(2500, 150.0, 8)
+        kernel = builder.build_from_history(history, times, simulator)
+
+        edges = bin_edges(builder.phase_bins)
+        widths = np.diff(edges)
+        for m, time in enumerate(times):
+            snapshot = simulator.snapshot(history, float(time))
+            hist, _ = np.histogram(snapshot.phases, bins=edges, weights=snapshot.volumes)
+            row = builder._smooth_row(hist / (snapshot.total_volume * widths), widths)
+            assert kernel.density[m] == pytest.approx(row, abs=1e-10)
+            assert kernel.num_cells[m] == snapshot.num_cells
+
+    def test_caller_supplied_simulator_volume_model_honored(self, paper_parameters):
+        """build_from_history weights volumes with the *simulator's* model
+        (the pre-vectorization behaviour), not the builder's."""
+        from repro.cellcycle.volume import LinearVolumeModel
+
+        times = np.linspace(0.0, 150.0, 4)
+        builder = KernelBuilder(paper_parameters, num_cells=1000, phase_bins=30)
+        linear_sim = PopulationSimulator(
+            paper_parameters, LinearVolumeModel(), builder.initial_condition
+        )
+        history = linear_sim.run(1000, 150.0, 6)
+        via_linear = builder.build_from_history(history, times, linear_sim)
+        via_smooth = builder.build_from_history(history, times)
+        assert not np.allclose(via_linear.density, via_smooth.density)
+
+    def test_unsorted_times_supported(self, paper_parameters):
+        builder = KernelBuilder(paper_parameters, num_cells=1200, phase_bins=30)
+        simulator = PopulationSimulator(
+            paper_parameters, builder.volume_model, builder.initial_condition
+        )
+        history = simulator.run(1200, 150.0, 2)
+        shuffled = np.array([90.0, 10.0, 150.0, 40.0])
+        ordered = np.sort(shuffled)
+        a = builder.build_from_history(history, shuffled, simulator)
+        b = builder.build_from_history(history, ordered, simulator)
+        resort = np.argsort(shuffled)
+        assert np.allclose(a.density[resort], b.density)
+        assert np.array_equal(a.num_cells[resort], b.num_cells)
+
+    def test_phases_at_many_matches_phases_at(self, paper_parameters):
+        simulator = PopulationSimulator(paper_parameters)
+        history = simulator.run(800, 150.0, 4)
+        times = np.linspace(0.0, 150.0, 7)
+        time_idx, cell_idx, phases = history.phases_at_many(times)
+        for m, time in enumerate(times):
+            expected_phases, expected_cells = history.phases_at(float(time))
+            mask = time_idx == m
+            assert np.array_equal(cell_idx[mask], expected_cells)
+            assert np.array_equal(phases[mask], expected_phases)

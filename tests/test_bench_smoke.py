@@ -1,0 +1,63 @@
+"""Smoke test for the solve-path benchmark harness (tier-1 wired).
+
+Runs :func:`repro.benchmarks.solvepath.run_solvepath_benchmark` at smoke
+sizes so the per-stage timing harness (and the JSON baseline machinery behind
+``BENCH_solvepath.json``) is exercised on every tier-1 run without the cost
+of the full-size benchmark.
+"""
+
+import json
+
+import pytest
+
+from repro.benchmarks.solvepath import (
+    SMOKE_CONFIG,
+    format_report,
+    run_solvepath_benchmark,
+    write_baseline,
+)
+
+EXPECTED_STAGES = {
+    "kernel_build",
+    "problem_assembly_cold",
+    "qp_solve",
+    "qp_solve_warm",
+    "lambda_gcv",
+    "lambda_kfold",
+    "bootstrap",
+}
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_solvepath_benchmark(**SMOKE_CONFIG)
+
+
+def test_smoke_report_has_all_stages(smoke_report):
+    assert set(smoke_report["stages_seconds"]) == EXPECTED_STAGES
+    assert all(seconds > 0.0 for seconds in smoke_report["stages_seconds"].values())
+
+
+def test_smoke_config_recorded(smoke_report):
+    assert smoke_report["config"]["num_cells"] == SMOKE_CONFIG["num_cells"]
+    # Smoke sizes are not the default sizes, so no seed comparison is claimed.
+    assert smoke_report["seed_baseline_seconds"] is None
+
+
+def test_warm_solve_not_slower_than_cold(smoke_report):
+    stages = smoke_report["stages_seconds"]
+    assert stages["qp_solve_warm"] <= stages["problem_assembly_cold"]
+
+
+def test_baseline_round_trips_as_json(smoke_report, tmp_path):
+    path = tmp_path / "BENCH_solvepath.json"
+    write_baseline(smoke_report, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["benchmark"] == "solvepath"
+    assert set(loaded["stages_seconds"]) == EXPECTED_STAGES
+
+
+def test_report_formats(smoke_report):
+    text = format_report(smoke_report)
+    assert "solvepath benchmark" in text
+    assert "qp_solve_warm" in text
