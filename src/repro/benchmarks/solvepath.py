@@ -1,14 +1,21 @@
 """Per-stage timing harness for the warm-started, shared-factorization solve path.
 
-Times the four layers the solve-path PR threads through -- QP solve (cold,
-cached-workspace and warm-started), lambda search (GCV and k-fold CV),
-residual bootstrap and Monte-Carlo kernel build -- on one representative
-deconvolution workload, and emits a JSON baseline (``BENCH_solvepath.json``)
-so the perf trajectory can be tracked across PRs.
+Times the layers the solve-path PRs thread through -- QP solve (cold,
+cached-workspace and warm-started), lambda search (GCV and both k-fold CV
+engines), residual bootstrap, Monte-Carlo kernel build and multi-species
+``fit_many`` batches -- on one representative deconvolution workload, and
+emits a JSON baseline (``BENCH_solvepath.json``) so the perf trajectory can
+be tracked across PRs.
 
 Run the full-size benchmark and refresh the committed baseline with::
 
     PYTHONPATH=src python -m repro.benchmarks.solvepath --output BENCH_solvepath.json
+
+The CI bench-regression job re-times the default sizes with fewer repeats and
+fails on any stage slower than the committed baseline by more than a generous
+tolerance::
+
+    python -m repro.benchmarks.solvepath --quick --compare BENCH_solvepath.json
 
 A ``--smoke`` mode (small sizes, one repeat) runs inside the tier-1 test flow
 (``tests/test_bench_smoke.py``) so the harness itself cannot rot.
@@ -37,6 +44,24 @@ SEED_BASELINE_SECONDS = {
     "kernel_build": 8.7e-3,
 }
 
+# Timings of the PR 1 solve path at the default sizes (same machine), before
+# the batched CV / kernel / multi-species layer (PR 2) landed: the stages
+# that existed are PR 1's committed BENCH_solvepath.json numbers, the
+# fit_many stages were measured by running this workload against the PR 1
+# tree.  They anchor the ``speedup_vs_pr1`` column of every default-size
+# report.
+PR1_BASELINE_SECONDS = {
+    "qp_solve": 3.396e-5,
+    "qp_solve_warm": 2.669e-5,
+    "problem_assembly_cold": 3.487e-3,
+    "lambda_gcv": 2.256e-4,
+    "lambda_kfold": 1.450e-2,
+    "bootstrap": 1.316e-2,
+    "kernel_build": 7.877e-3,
+    "fit_many_gcv": 4.345e-3,
+    "fit_many_kfold": 1.190e-1,
+}
+
 DEFAULT_CONFIG = {
     "num_cells": 6000,
     "phase_bins": 80,
@@ -44,6 +69,7 @@ DEFAULT_CONFIG = {
     "num_basis": 14,
     "num_replicates": 50,
     "lambda_count": 13,
+    "num_species": 8,
     "repeats": 5,
 }
 
@@ -54,8 +80,13 @@ SMOKE_CONFIG = {
     "num_basis": 8,
     "num_replicates": 4,
     "lambda_count": 5,
+    "num_species": 3,
     "repeats": 1,
 }
+
+# CI sizes: the default workload (so stages are comparable against the
+# committed baseline) with fewer repeats to keep the job short.
+QUICK_REPEATS = 2
 
 
 def _time(function: Callable[[], Any], repeats: int) -> float:
@@ -76,6 +107,7 @@ def run_solvepath_benchmark(
     num_basis: int = DEFAULT_CONFIG["num_basis"],
     num_replicates: int = DEFAULT_CONFIG["num_replicates"],
     lambda_count: int = DEFAULT_CONFIG["lambda_count"],
+    num_species: int = DEFAULT_CONFIG["num_species"],
     repeats: int = DEFAULT_CONFIG["repeats"],
     rng: int = 0,
 ) -> dict:
@@ -83,8 +115,8 @@ def run_solvepath_benchmark(
 
     Stages (seconds each):
 
-    * ``kernel_build`` -- vectorized ``build_from_history`` on a shared
-      population history.
+    * ``kernel_build`` -- batched ``build_from_history`` on a shared
+      population history (memoised pair expansion, Horner volume pass).
     * ``problem_assembly_cold`` -- fresh problem assembly (design, penalty,
       constraint rows) plus one solve, nothing cached.
     * ``qp_solve`` -- ``problem.solve`` on an assembled problem through the
@@ -93,10 +125,14 @@ def run_solvepath_benchmark(
     * ``qp_solve_warm`` -- workspace solve warm-started with the previous
       solution and active set.
     * ``lambda_gcv`` -- eigendecomposition GCV over the lambda grid.
-    * ``lambda_kfold`` -- k-fold CV with hoisted folds and warm-started
-      lambda sweeps.
+    * ``lambda_kfold`` -- k-fold CV through the per-fold generalised
+      eigendecomposition plan (diagonal rescale per candidate, constrained
+      solves only where inequalities bind).
     * ``bootstrap`` -- residual bootstrap with the shared fit workspace and
       warm-started replicates.
+    * ``fit_many_gcv`` / ``fit_many_kfold`` -- multi-species batch of
+      ``num_species`` fits sharing one workspace and the lambda grid's
+      eigendecompositions/fold plans across species.
     """
     from repro.cellcycle.kernel import KernelBuilder
     from repro.cellcycle.parameters import CellCycleParameters
@@ -181,6 +217,27 @@ def run_solvepath_benchmark(
         repeats,
     )
 
+    # Multi-species batch: scaled copies of the base series with seeded noise.
+    species_rng = np.random.default_rng(7)
+    matrix = np.column_stack(
+        [
+            measurements * (1.0 + 0.2 * species)
+            + 0.01 * species_rng.normal(size=measurements.size)
+            for species in range(int(num_species))
+        ]
+    )
+    batch_deconvolver = Deconvolver(
+        kernel, parameters=parameters, num_basis=int(num_basis)
+    )
+    stages["fit_many_gcv"] = _time(
+        lambda: batch_deconvolver.fit_many(times, matrix, lambda_method="gcv"),
+        repeats,
+    )
+    stages["fit_many_kfold"] = _time(
+        lambda: batch_deconvolver.fit_many(times, matrix, lambda_method="kfold"),
+        repeats,
+    )
+
     config = {
         "num_cells": int(num_cells),
         "phase_bins": int(phase_bins),
@@ -188,20 +245,29 @@ def run_solvepath_benchmark(
         "num_basis": int(num_basis),
         "num_replicates": int(num_replicates),
         "lambda_count": int(lambda_count),
+        "num_species": int(num_species),
         "repeats": int(repeats),
     }
     is_default = all(config[key] == DEFAULT_CONFIG[key] for key in DEFAULT_CONFIG if key != "repeats")
-    speedups = {}
-    if is_default:
-        for stage, seed_seconds in SEED_BASELINE_SECONDS.items():
-            if stages.get(stage, 0.0) > 0.0:
-                speedups[stage] = round(seed_seconds / stages[stage], 2)
+
+    def baseline_speedups(baseline: dict[str, float]) -> dict[str, float] | None:
+        if not is_default:
+            return None
+        speedups = {
+            stage: round(seconds / stages[stage], 2)
+            for stage, seconds in baseline.items()
+            if stages.get(stage, 0.0) > 0.0
+        }
+        return speedups or None
+
     return {
         "benchmark": "solvepath",
         "config": config,
         "stages_seconds": stages,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS if is_default else None,
-        "speedup_vs_seed": speedups or None,
+        "speedup_vs_seed": baseline_speedups(SEED_BASELINE_SECONDS),
+        "pr1_baseline_seconds": PR1_BASELINE_SECONDS if is_default else None,
+        "speedup_vs_pr1": baseline_speedups(PR1_BASELINE_SECONDS),
         "platform": platform.platform(),
     }
 
@@ -216,13 +282,73 @@ def write_baseline(report: dict, path: str) -> None:
 def format_report(report: dict) -> str:
     """Human-readable per-stage summary of a report."""
     lines = [f"solvepath benchmark ({report['config']})"]
-    speedups = report.get("speedup_vs_seed") or {}
+    seed_speedups = report.get("speedup_vs_seed") or {}
+    pr1_speedups = report.get("speedup_vs_pr1") or {}
     for stage, seconds in sorted(report["stages_seconds"].items()):
-        line = f"  {stage:16s} {seconds * 1e3:10.3f} ms"
-        if stage in speedups:
-            line += f"   ({speedups[stage]:.1f}x vs seed)"
+        line = f"  {stage:22s} {seconds * 1e3:10.3f} ms"
+        if stage in seed_speedups:
+            line += f"   ({seed_speedups[stage]:.1f}x vs seed)"
+        if stage in pr1_speedups:
+            line += f"   ({pr1_speedups[stage]:.1f}x vs PR1)"
         lines.append(line)
     return "\n".join(lines)
+
+
+def compare_reports(
+    report: dict, baseline: dict, *, tolerance: float = 3.0, min_seconds: float = 1e-3
+) -> tuple[bool, str]:
+    """Per-stage regression check of a report against a committed baseline.
+
+    A stage regresses when it is slower than
+    ``tolerance * max(baseline, min_seconds)``: the ratio tolerance absorbs
+    machine-to-machine differences, and the ``min_seconds`` floor keeps
+    microsecond-scale stages (whose absolute timings on a noisy shared CI
+    runner can legitimately exceed any fixed ratio of a fast reference
+    machine) from tripping the gate — those stages only fail once they cross
+    ``tolerance * min_seconds`` outright.  Stages missing from the
+    *baseline* are listed but do not fail the check (new stages appear
+    before their baseline is refreshed); stages the baseline has but the
+    current run lacks DO fail it — a stage silently dropping out of the
+    benchmark is itself a regression in coverage.
+
+    Returns ``(ok, table)`` with a readable per-stage diff table.
+    """
+    if tolerance <= 1.0:
+        raise ValueError("tolerance must be greater than 1.0")
+    stages = report.get("stages_seconds", {})
+    reference = baseline.get("stages_seconds", {})
+    lines = [
+        f"{'stage':22s} {'current':>12s} {'baseline':>12s} {'ratio':>8s}  verdict",
+    ]
+    ok = True
+    for stage in sorted(set(stages) | set(reference)):
+        current = stages.get(stage)
+        base = reference.get(stage)
+        if current is None:
+            ok = False
+            lines.append(f"{stage:22s} {'-':>12s} {base * 1e3:10.3f} ms {'-':>8s}  REGRESSION (stage missing from current run)")
+            continue
+        if base is None:
+            lines.append(f"{stage:22s} {current * 1e3:10.3f} ms {'-':>12s} {'-':>8s}  missing in baseline (ignored)")
+            continue
+        ratio = current / base if base > 0 else float("inf")
+        verdict = "ok"
+        if current > tolerance * max(base, min_seconds):
+            verdict = f"REGRESSION (> {tolerance:.1f}x)"
+            ok = False
+        elif ratio > tolerance:
+            verdict = "ok (below floor)"
+        lines.append(
+            f"{stage:22s} {current * 1e3:10.3f} ms {base * 1e3:10.3f} ms {ratio:7.2f}x  {verdict}"
+        )
+    report_config = {k: v for k, v in report.get("config", {}).items() if k != "repeats"}
+    baseline_config = {k: v for k, v in baseline.get("config", {}).items() if k != "repeats"}
+    if report_config != baseline_config:
+        lines.append(
+            "note: config differs from baseline "
+            f"({report_config} vs {baseline_config}); ratios are not comparable"
+        )
+    return ok, "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -231,11 +357,39 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes, one repeat")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"default sizes with {QUICK_REPEATS} repeats (the CI bench gate)",
+    )
     parser.add_argument("--output", default=None, help="write the JSON report here")
     parser.add_argument("--repeats", type=int, default=None, help="override repeat count")
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare per-stage timings against a committed baseline report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="slowdown factor at which --compare fails a stage (default 3.0)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1e-3,
+        help="baseline floor in seconds for the --compare gate; stages faster "
+        "than this only fail once they exceed tolerance * floor (default 1e-3)",
+    )
     args = parser.parse_args(argv)
+    if args.smoke and args.quick:
+        parser.error("--smoke and --quick are mutually exclusive")
 
     config = dict(SMOKE_CONFIG if args.smoke else DEFAULT_CONFIG)
+    if args.quick:
+        config["repeats"] = QUICK_REPEATS
     if args.repeats is not None:
         config["repeats"] = args.repeats
     report = run_solvepath_benchmark(**config)
@@ -243,6 +397,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.output:
         write_baseline(report, args.output)
         print(f"wrote {args.output}")
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        ok, table = compare_reports(
+            report, baseline, tolerance=args.tolerance, min_seconds=args.floor
+        )
+        print(f"\nbench regression gate vs {args.compare} (tolerance {args.tolerance:.1f}x):")
+        print(table)
+        if not ok:
+            print("FAILED: at least one stage regressed beyond tolerance")
+            return 1
+        print("ok: no stage regressed beyond tolerance")
     return 0
 
 

@@ -283,11 +283,13 @@ class KernelBuilder:
             ),
             dtype=float,
         )
-        total_volume = np.bincount(time_idx, weights=volumes, minlength=num_times)
         bins = _uniform_bin_indices(phases, edges)
         histograms = np.bincount(
             time_idx * num_bins + bins, weights=volumes, minlength=num_times * num_bins
         ).reshape(num_times, num_bins)
+        # Every pair lands in exactly one bin, so the per-time total volume
+        # is just the histogram row sum -- no second bincount pass needed.
+        total_volume = histograms.sum(axis=1)
         rows = histograms / (total_volume[:, None] * widths[None, :])
 
         density = np.zeros((num_times, num_bins))
@@ -299,10 +301,29 @@ class KernelBuilder:
         )
 
     def _smooth_rows(self, rows: np.ndarray, widths: np.ndarray) -> np.ndarray:
-        """Apply :meth:`_smooth_row` to every kernel row."""
+        """Moving-average smoothing of all kernel rows in one vectorized pass.
+
+        Equivalent to applying :meth:`_smooth_row` per row (up to float
+        rounding of the sliding-sum formulation): edge-padded moving average
+        via a cumulative sum, then per-row renormalisation to preserve each
+        row's integral.  Rows whose smoothed integral degenerates to zero are
+        kept unsmoothed, matching the per-row guard.
+        """
         if self.smoothing_window == 1:
             return rows
-        return np.stack([self._smooth_row(row, widths) for row in rows])
+        half = self.smoothing_window // 2
+        padded = np.pad(rows, ((0, 0), (half, half)), mode="edge")
+        cumulative = np.cumsum(padded, axis=1)
+        window = self.smoothing_window
+        smoothed = np.empty_like(rows)
+        smoothed[:, 0] = cumulative[:, window - 1]
+        smoothed[:, 1:] = cumulative[:, window:] - cumulative[:, : rows.shape[1] - 1]
+        smoothed /= window
+        integrals = smoothed @ widths
+        positive = integrals > 0
+        smoothed[positive] /= integrals[positive, None]
+        smoothed[~positive] = rows[~positive]
+        return smoothed
 
     def _smooth_row(self, row: np.ndarray, widths: np.ndarray) -> np.ndarray:
         """Moving-average smoothing of one kernel row, preserving its integral."""

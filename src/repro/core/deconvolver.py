@@ -257,6 +257,17 @@ class Deconvolver:
         qp_result = problem.solve(
             float(lam), backend=self.solver_backend, x0=warm_x, active_set=warm_active
         )
+        return self._result_from_solve(problem, float(lam), qp_result, times, lambda_path)
+
+    def _result_from_solve(
+        self,
+        problem: DeconvolutionProblem,
+        lam: float,
+        qp_result,
+        times: np.ndarray,
+        lambda_path: dict[float, float],
+    ) -> DeconvolutionResult:
+        """Package one QP solve into a :class:`DeconvolutionResult`."""
         coefficients = qp_result.x
         fitted = problem.forward.predict(coefficients)
         return DeconvolutionResult(
@@ -264,7 +275,7 @@ class Deconvolver:
             basis=self.basis,
             lam=float(lam),
             times=ensure_1d(times, "times").copy(),
-            measurements=ensure_1d(measurements, "measurements").copy(),
+            measurements=problem.measurements.copy(),
             fitted=fitted,
             sigma=problem.sigma.copy(),
             data_misfit=problem.data_misfit(coefficients),
@@ -285,29 +296,116 @@ class Deconvolver:
         sigma: np.ndarray | float | None = None,
         lam: float | None = None,
         lambda_method: str = "gcv",
+        lambda_grid: np.ndarray | None = None,
         rng: SeedLike = 0,
+        workers: int | None = None,
+        warm_start_chain: bool = True,
     ) -> list[DeconvolutionResult]:
         """Deconvolve several species sharing the same measurement times.
 
         ``measurement_matrix`` has one column per species.  All species share
-        the kernel, design matrix, constraint rows and per-lambda QP
-        factorizations through one :class:`FitWorkspace`, and each species'
-        final solve is warm-started from the previous one.
+        the kernel, design matrix, constraint rows, per-lambda QP
+        factorizations *and* the lambda search's eigendecompositions (the GCV
+        pencil, the k-fold per-fold plans) through one :class:`FitWorkspace`
+        and its template problem, so the per-species marginal cost is a
+        gradient, a grid scoring pass and one QP solve.
+
+        Parameters
+        ----------
+        times, sigma, lam, lambda_method, lambda_grid, rng:
+            As in :meth:`fit`, applied to every species.
+        workers:
+            When greater than one, the final per-species QP solves are fanned
+            out over a thread pool of this size (lambda selection stays
+            serial so the shared plans are filled deterministically).  Each
+            worker solves with a private factorization workspace; results are
+            bit-for-bit identical to ``workers=1`` with
+            ``warm_start_chain=False`` (parallel solves cannot chain, so
+            ``workers>1`` implies it).
+        warm_start_chain:
+            When true (default, serial mode only) each species' final solve
+            is warm-started from the previous species' solution and active
+            set.  Set to false for fully independent, order-insensitive
+            per-species solves.
         """
         matrix = np.asarray(measurement_matrix, dtype=float)
         if matrix.ndim != 2:
             raise ValueError("measurement_matrix must be two-dimensional")
-        results: list[DeconvolutionResult] = []
-        previous: DeconvolutionResult | None = None
-        for column in range(matrix.shape[1]):
-            previous = self.fit(
-                times,
-                matrix[:, column],
-                sigma=sigma,
-                lam=lam,
-                lambda_method=lambda_method,
-                rng=rng,
-                warm_start=previous,
+        num_species = matrix.shape[1]
+        parallel = workers is not None and int(workers) > 1 and num_species > 1
+        if warm_start_chain and not parallel:
+            results: list[DeconvolutionResult] = []
+            previous: DeconvolutionResult | None = None
+            for column in range(num_species):
+                previous = self.fit(
+                    times,
+                    matrix[:, column],
+                    sigma=sigma,
+                    lam=lam,
+                    lambda_method=lambda_method,
+                    lambda_grid=lambda_grid,
+                    rng=rng,
+                    warm_start=previous,
+                )
+                results.append(previous)
+            return results
+
+        workspace = self.fit_workspace(times, sigma=sigma, rng=rng)
+        problems = [workspace.problem_for(matrix[:, column]) for column in range(num_species)]
+        lams: list[float] = []
+        paths: list[dict[float, float]] = []
+        for problem in problems:
+            # Selection runs serially even in parallel mode: the per-grid
+            # eigendecompositions and fold plans live in shared caches that
+            # the first species fills and the rest reuse.
+            if lam is None:
+                selection = select_lambda(
+                    problem,
+                    lambda_grid,
+                    method=lambda_method,
+                    backend=self.solver_backend,
+                    rng=rng,
+                )
+                lams.append(float(selection.best_lambda))
+                paths.append(selection.scores)
+            else:
+                lams.append(float(lam))
+                paths.append({})
+
+        if not parallel:
+            return [
+                self._result_from_solve(
+                    problem,
+                    chosen,
+                    problem.solve(chosen, backend=self.solver_backend),
+                    times,
+                    path,
+                )
+                for problem, chosen, path in zip(problems, lams, paths)
+            ]
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.numerics.qp import QPWorkspace, solve_qp
+
+        # Pre-assemble the shared per-lambda Hessians serially; afterwards
+        # the worker threads only read the shared caches.
+        for chosen in sorted(set(lams)):
+            workspace.template.quadratic_program(chosen)
+
+        def solve_one(index: int) -> DeconvolutionResult:
+            problem = problems[index]
+            program = problem.quadratic_program(lams[index])
+            try:
+                private = QPWorkspace(program)
+            except np.linalg.LinAlgError:
+                private = None
+            qp_result = solve_qp(
+                program, backend=self.solver_backend, workspace=private
             )
-            results.append(previous)
-        return results
+            return self._result_from_solve(
+                problem, lams[index], qp_result, times, paths[index]
+            )
+
+        with ThreadPoolExecutor(max_workers=int(workers)) as pool:
+            return list(pool.map(solve_one, range(num_species)))

@@ -6,10 +6,17 @@ Two selectors are provided:
 * **k-fold cross-validation** — measurements are split into folds; for each
   candidate ``lambda`` the constrained problem is solved on the training folds
   and scored by the weighted squared error on the held-out measurements.  The
-  fold-restricted problems are assembled once (not once per lambda), and the
-  training solves sweep the lambda grid from the largest candidate down
-  (heavily smoothed solves are nearly unconstrained, hence cheap from cold),
-  warm-starting each solve from the previous lambda's solution and active set.
+  default engine factors each fold *once*: a generalised eigendecomposition
+  of the pencil ``(Omega, A_tr^T W A_tr + c Omega)`` (with the shift ``c``
+  inside the lambda grid so the factored matrix is a well-conditioned actual
+  Hessian) turns every candidate's training Hessian into the diagonal
+  ``2 (1 + (lambda - c) mu)`` in the eigenbasis.  Each candidate is then an
+  ``O(Nc)`` diagonal solve plus a tiny KKT correction for the equality rows;
+  the constrained active-set solver only runs for the candidates whose
+  unconstrained optimum violates an inequality (and those solves reuse
+  per-candidate cached workspaces and warm starts).  A ``solve`` engine — the
+  fold-hoisted, warm-started per-(fold, lambda) QP sweep — remains as the
+  reference and the fallback for degenerate pencils.
 * **generalised cross-validation (GCV)** — the classical closed-form score of
   the *unconstrained* smoother matrix
   ``S(lambda) = A (A^T W A + lambda Omega)^-1 A^T W``; inequality constraints
@@ -27,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.problem import DeconvolutionProblem
+from repro.numerics.qp import QPResult, QPWorkspace, QuadraticProgram, solve_qp
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ensure_1d
 
@@ -93,6 +101,31 @@ def _gcv_scores_dense(
     return scores
 
 
+def _gcv_eig_pieces(
+    problem: DeconvolutionProblem,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Measurement-independent pieces of the eigendecomposition GCV score.
+
+    Cached on the problem family (see
+    :meth:`~repro.core.problem.DeconvolutionProblem.selection_cache`), so a
+    multi-species batch pays for the ``eigh`` once instead of once per
+    species.
+    """
+    from scipy.linalg import eigh
+
+    def build() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        design = problem.forward.design_matrix
+        gram = problem.gram
+        regulariser = gram + problem.ridge * np.eye(problem.num_coefficients)
+        mu, vectors = eigh(problem.penalty, regulariser)
+        # Per-mode pieces: trace contributions and reconstruction modes.
+        trace_weights = np.einsum("ij,ij->j", vectors, gram @ vectors)
+        modes = design @ vectors
+        return mu, vectors, trace_weights, modes
+
+    return problem.selection_cache("gcv_eig", build)
+
+
 def _gcv_scores_eig(
     problem: DeconvolutionProblem, lambdas: np.ndarray
 ) -> dict[float, float]:
@@ -105,19 +138,11 @@ def _gcv_scores_eig(
     dense ``Nm x Nm`` build.  Raises ``LinAlgError`` when ``M`` is not
     positive definite (caller falls back to the dense path).
     """
-    from scipy.linalg import eigh
-
-    design = problem.forward.design_matrix
     weights = 1.0 / problem.sigma**2
-    gram = problem.gram
-    regulariser = gram + problem.ridge * np.eye(problem.num_coefficients)
-    mu, vectors = eigh(problem.penalty, regulariser)
+    mu, vectors, trace_weights, modes = _gcv_eig_pieces(problem)
 
     measurements = problem.measurements
     num_measurements = measurements.size
-    # Per-mode pieces: trace contributions, data projections, reconstruction.
-    trace_weights = np.einsum("ij,ij->j", vectors, gram @ vectors)
-    modes = design @ vectors
     projections = vectors.T @ (problem.weighted_design.T @ measurements)
 
     scores: dict[float, float] = {}
@@ -164,44 +189,288 @@ def generalized_cross_validation(
     return LambdaSelectionResult(best_lambda=best, scores=scores, method="gcv")
 
 
-def k_fold_cross_validation(
+class _FoldEigState:
+    """Measurement-independent eigendecomposition state of one CV fold."""
+
+    __slots__ = (
+        "train",
+        "test",
+        "projector",
+        "diagonals",
+        "eq_columns",
+        "eq_vector",
+        "ineq_columns",
+        "ineq_vector",
+        "test_modes",
+        "test_sigma",
+        "workspaces",
+        "warm_starts",
+    )
+
+    def __init__(
+        self,
+        problem: DeconvolutionProblem,
+        train: np.ndarray,
+        test: np.ndarray,
+        lambdas_descending: np.ndarray,
+        shift: float,
+    ) -> None:
+        from scipy.linalg import eigh
+
+        self.train = train
+        self.test = test
+        design = problem.forward.design_matrix
+        weights = 1.0 / problem.sigma**2
+        train_design = design[train]
+        train_weighted = train_design * weights[train][:, None]
+        gram = train_design.T @ train_weighted
+        gram = 0.5 * (gram + gram.T)
+        num_coefficients = problem.num_coefficients
+        shifted = gram + 0.5 * problem.ridge * np.eye(num_coefficients)
+        shifted += shift * problem.penalty
+        # Pencil (Omega, A^T W A + ridge/2 + c Omega): the B matrix is the
+        # (halved) training Hessian at lambda = c, positive definite and far
+        # better conditioned than the rank-deficient fold Gram alone.  In the
+        # eigenbasis every candidate's Hessian is diagonal.
+        mu, vectors = eigh(problem.penalty, shifted)
+        diagonals = 2.0 * (1.0 + (lambdas_descending[:, None] - shift) * mu[None, :])
+        if not np.all(diagonals > 0.0) or not np.all(np.isfinite(diagonals)):
+            raise np.linalg.LinAlgError("indefinite fold pencil for the lambda grid")
+        self.diagonals = diagonals
+        # Maps a training measurement vector straight to the eigenbasis
+        # gradient: q = -2 projector @ m_train.
+        self.projector = vectors.T @ train_weighted.T
+        constraint_set = problem.constraint_set
+        if constraint_set.has_equalities:
+            self.eq_columns = constraint_set.equality_matrix @ vectors
+            self.eq_vector = constraint_set.equality_vector
+        else:
+            self.eq_columns = None
+            self.eq_vector = None
+        if constraint_set.has_inequalities:
+            self.ineq_columns = constraint_set.inequality_matrix @ vectors
+            self.ineq_vector = constraint_set.inequality_vector
+        else:
+            self.ineq_columns = None
+            self.ineq_vector = None
+        self.test_modes = design[test] @ vectors
+        self.test_sigma = problem.sigma[test]
+        # Lazy per-candidate fallback state, reused across calls and species.
+        self.workspaces: dict[int, QPWorkspace] = {}
+        self.warm_starts: dict[int, tuple[np.ndarray, list[int]]] = {}
+
+    def solutions(
+        self, train_measurements: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Equality-constrained optima for every candidate, plus feasibility.
+
+        Returns the eigenbasis gradient of the training measurements, the
+        solutions ``Y`` (one row per candidate, in the plan's descending
+        lambda order) of the training problem *without* its inequality rows,
+        and a boolean mask of the candidates whose solution already satisfies
+        every inequality (and is therefore the exact constrained optimum).
+        """
+        gradient = -2.0 * (self.projector @ train_measurements)
+        solutions = -gradient[None, :] / self.diagonals
+        if self.eq_columns is not None:
+            # KKT correction onto the equality rows: a dense solve of one
+            # (num_eq x num_eq) system per candidate.
+            scaled = self.eq_columns[None, :, :] / self.diagonals[:, None, :]
+            schur = scaled @ self.eq_columns.T
+            residual = self.eq_vector[None, :] - solutions @ self.eq_columns.T
+            multipliers = np.linalg.solve(schur, residual[..., None])[..., 0]
+            solutions = solutions + np.einsum("lk,lkc->lc", multipliers, scaled)
+        if self.ineq_columns is None:
+            feasible = np.ones(solutions.shape[0], dtype=bool)
+        else:
+            slack = solutions @ self.ineq_columns.T - self.ineq_vector[None, :]
+            feasible = slack.min(axis=1) >= -1e-9
+        return gradient, solutions, feasible
+
+    def fallback_workspace(self, index: int) -> QPWorkspace:
+        """Cached active-set workspace for one candidate's diagonal Hessian."""
+        workspace = self.workspaces.get(index)
+        if workspace is None:
+            hessian = np.diag(self.diagonals[index])
+            workspace = QPWorkspace(
+                QuadraticProgram(
+                    hessian=hessian,
+                    gradient=np.zeros(hessian.shape[0]),
+                    eq_matrix=self.eq_columns,
+                    eq_vector=self.eq_vector,
+                    ineq_matrix=self.ineq_columns,
+                    ineq_vector=self.ineq_vector,
+                )
+            )
+            self.workspaces[index] = workspace
+        return workspace
+
+
+class KFoldEigPlan:
+    """Shared per-fold factorization plan for k-fold cross-validation.
+
+    The plan holds everything about a ``(fold assignment, lambda grid)``
+    cross-validation that does not depend on the measurement values: per-fold
+    generalised eigendecompositions, constraint rows and held-out modes in
+    the eigenbasis, and the fallback QP workspaces with their warm starts.
+    :meth:`score` then evaluates any measurement vector of the same problem
+    family — the fast path for multi-species batches, where the plan is built
+    once and scored per species.
+    """
+
+    def __init__(
+        self,
+        problem: DeconvolutionProblem,
+        lambdas: np.ndarray,
+        folds: list[np.ndarray],
+        permutation: np.ndarray,
+    ) -> None:
+        lambdas = np.asarray(lambdas, dtype=float)
+        self.sweep_order = np.argsort(lambdas, kind="stable")[::-1]
+        self.lambdas_descending = lambdas[self.sweep_order]
+        # Shift the pencil to the grid's geometric mean so the factored
+        # matrix is an actual (well-conditioned) mid-grid Hessian.
+        positive = lambdas[lambdas > 0.0]
+        if positive.size:
+            self.shift = float(np.exp(np.mean(np.log(positive))))
+        else:
+            self.shift = 1e-3
+        self.folds = [
+            _FoldEigState(
+                problem,
+                np.setdiff1d(permutation, fold),
+                fold,
+                self.lambdas_descending,
+                self.shift,
+            )
+            for fold in folds
+        ]
+
+    def score(
+        self, measurements: np.ndarray, *, backend: str = "auto"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Summed held-out CV scores for one measurement vector.
+
+        Returns ``(totals, valid)`` in the *original* lambda-grid order.
+        Candidates whose equality-constrained optimum is feasible are scored
+        directly from the diagonal solve; the rest run the active-set solver
+        in the eigenbasis, warm-started from the same candidate's previous
+        solve (earlier species/call) or the preceding candidate in the sweep.
+        """
+        num_candidates = self.lambdas_descending.size
+        totals = np.zeros(num_candidates)
+        valid = np.ones(num_candidates, dtype=bool)
+        for fold in self.folds:
+            gradient, solutions, feasible = fold.solutions(measurements[fold.train])
+            predictions = solutions @ fold.test_modes.T
+            residuals = (measurements[fold.test][None, :] - predictions) / fold.test_sigma
+            scores = np.einsum("lj,lj->l", residuals, residuals)
+            if not np.all(feasible):
+                self._solve_infeasible(
+                    fold, gradient, solutions, feasible, scores, measurements, valid, backend
+                )
+            totals += scores
+        reordered_totals = np.empty(num_candidates)
+        reordered_valid = np.empty(num_candidates, dtype=bool)
+        reordered_totals[self.sweep_order] = totals
+        reordered_valid[self.sweep_order] = valid
+        return reordered_totals, reordered_valid
+
+    def _solve_infeasible(
+        self,
+        fold: _FoldEigState,
+        gradient: np.ndarray,
+        solutions: np.ndarray,
+        feasible: np.ndarray,
+        scores: np.ndarray,
+        measurements: np.ndarray,
+        valid: np.ndarray,
+        backend: str,
+    ) -> None:
+        """Constrained solves for the candidates the fast path cannot score."""
+        test_values = measurements[fold.test]
+        previous: tuple[np.ndarray, list[int]] | None = None
+        for index in range(solutions.shape[0]):
+            if feasible[index]:
+                # A feasible diagonal solution is also the best warm start
+                # for the next infeasible candidate in the sweep.
+                previous = (solutions[index], [])
+                continue
+            warm = fold.warm_starts.get(index, previous)
+            warm_x = warm[0] if warm is not None else None
+            warm_active = warm[1] if warm is not None else None
+            if backend == "active_set" or backend == "auto":
+                result = fold.fallback_workspace(index).solve(
+                    gradient, x0=warm_x, active_set=warm_active
+                )
+                if backend == "auto" and not (
+                    result.converged and self._feasible(fold, result.x)
+                ):
+                    result = self._solve_general(
+                        fold, index, gradient, warm_x, warm_active, backend
+                    )
+            else:
+                result = self._solve_general(
+                    fold, index, gradient, warm_x, warm_active, backend
+                )
+            if not result.converged:
+                valid[index] = False
+                continue
+            fold.warm_starts[index] = (result.x, list(result.active_set))
+            previous = (result.x, list(result.active_set))
+            residual = (test_values - fold.test_modes @ result.x) / fold.test_sigma
+            scores[index] = float(residual @ residual)
+
+    @staticmethod
+    def _feasible(fold: _FoldEigState, solution: np.ndarray, tol: float = 1e-6) -> bool:
+        """Constraint check of an eigenbasis solution (mirrors ``solve_qp``)."""
+        if fold.eq_columns is not None:
+            if np.max(np.abs(fold.eq_columns @ solution - fold.eq_vector), initial=0.0) > tol:
+                return False
+        if fold.ineq_columns is not None:
+            if np.min(fold.ineq_columns @ solution - fold.ineq_vector, initial=0.0) < -tol:
+                return False
+        return True
+
+    def _solve_general(
+        self,
+        fold: _FoldEigState,
+        index: int,
+        gradient: np.ndarray,
+        warm_x: np.ndarray | None,
+        warm_active: list[int] | None,
+        backend: str,
+    ) -> QPResult:
+        """Full ``solve_qp`` dispatch (SciPy fallback) for one candidate."""
+        workspace = fold.fallback_workspace(index)
+        program = QuadraticProgram(
+            hessian=workspace.hessian,
+            gradient=gradient,
+            eq_matrix=fold.eq_columns,
+            eq_vector=fold.eq_vector,
+            ineq_matrix=fold.ineq_columns,
+            ineq_vector=fold.ineq_vector,
+        )
+        return solve_qp(
+            program, warm_x, backend=backend, active_set=warm_active, workspace=workspace
+        )
+
+
+def _kfold_scores_solve(
     problem: DeconvolutionProblem,
     lambdas: np.ndarray,
-    *,
-    num_folds: int = 5,
-    backend: str = "auto",
-    rng: SeedLike = 0,
-) -> LambdaSelectionResult:
-    """Score each candidate ``lambda`` by k-fold cross-validation.
+    folds: list[np.ndarray],
+    permutation: np.ndarray,
+    backend: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference engine: per-(fold, lambda) constrained solves.
 
     Each fold's restricted training problem and held-out forward model are
     assembled once; within a fold the lambda grid is swept from the largest
     candidate down with every training solve warm-started from the previous
     lambda's solution and active set (the per-lambda Hessian factorizations
     are cached on the restricted problem).
-
-    Parameters
-    ----------
-    problem:
-        The full deconvolution problem.
-    lambdas:
-        Candidate smoothing parameters.
-    num_folds:
-        Number of folds; capped at the number of measurements (leave-one-out).
-    backend:
-        QP backend used for the training fits.
-    rng:
-        Seed controlling the random fold assignment.
     """
-    lambdas = ensure_1d(lambdas, "lambdas")
-    num_measurements = problem.measurements.size
-    num_folds = int(min(num_folds, num_measurements))
-    if num_folds < 2:
-        raise ValueError("cross-validation needs at least two folds")
-    generator = as_generator(rng)
-    permutation = generator.permutation(num_measurements)
-    folds = np.array_split(permutation, num_folds)
-
     # Sweep from the largest lambda down: heavily smoothed solves are nearly
     # unconstrained (cheap from cold), and each solve then warm-starts the
     # next, slightly less smoothed one -- about half the active-set
@@ -232,6 +501,70 @@ def k_fold_cross_validation(
             warm_x, warm_active = result.x, result.active_set
             residual = fold_measurements - held_out.predict(result.x)
             totals[index] += float(np.sum((residual / fold_sigma) ** 2))
+    return totals, valid
+
+
+def k_fold_cross_validation(
+    problem: DeconvolutionProblem,
+    lambdas: np.ndarray,
+    *,
+    num_folds: int = 5,
+    backend: str = "auto",
+    rng: SeedLike = 0,
+    engine: str = "auto",
+) -> LambdaSelectionResult:
+    """Score each candidate ``lambda`` by k-fold cross-validation.
+
+    Parameters
+    ----------
+    problem:
+        The full deconvolution problem.
+    lambdas:
+        Candidate smoothing parameters.
+    num_folds:
+        Number of folds; capped at the number of measurements (leave-one-out).
+    backend:
+        QP backend used for the training fits.
+    rng:
+        Seed controlling the random fold assignment.
+    engine:
+        ``"eig"`` scores the grid through per-fold generalised
+        eigendecompositions (each candidate's training factor is a diagonal
+        rescale; the constrained solver only runs for candidates with active
+        inequalities), ``"solve"`` runs the per-(fold, lambda) warm-started
+        QP sweep, and ``"auto"`` (default) uses ``"eig"`` with an automatic
+        fallback to ``"solve"`` for degenerate pencils.  The eigendecomposition
+        plan is cached on the problem family, so repeated calls — and sibling
+        problems from
+        :meth:`~repro.core.problem.DeconvolutionProblem.with_measurements`,
+        e.g. a multi-species batch — reuse the per-fold factorizations.
+    """
+    lambdas = ensure_1d(lambdas, "lambdas")
+    num_measurements = problem.measurements.size
+    num_folds = int(min(num_folds, num_measurements))
+    if num_folds < 2:
+        raise ValueError("cross-validation needs at least two folds")
+    if engine not in ("auto", "eig", "solve"):
+        raise ValueError(f"unknown k-fold engine {engine!r}")
+    generator = as_generator(rng)
+    permutation = generator.permutation(num_measurements)
+    folds = np.array_split(permutation, num_folds)
+
+    totals = valid = None
+    if engine in ("auto", "eig"):
+        fingerprint = (num_folds, permutation.tobytes(), lambdas.tobytes())
+        try:
+            plan = problem.selection_cache(
+                "kfold_eig",
+                lambda: KFoldEigPlan(problem, lambdas, folds, permutation),
+                fingerprint=fingerprint,
+            )
+            totals, valid = plan.score(problem.measurements, backend=backend)
+        except np.linalg.LinAlgError:
+            if engine == "eig":
+                raise
+    if totals is None:
+        totals, valid = _kfold_scores_solve(problem, lambdas, folds, permutation, backend)
 
     scores = {
         float(lambdas[index]): float(totals[index]) if valid[index] else np.inf
@@ -249,6 +582,7 @@ def select_lambda(
     num_folds: int = 5,
     backend: str = "auto",
     rng: SeedLike = 0,
+    engine: str = "auto",
 ) -> LambdaSelectionResult:
     """Select ``lambda`` with the requested method (``gcv`` or ``kfold``)."""
     if lambdas is None:
@@ -257,6 +591,6 @@ def select_lambda(
         return generalized_cross_validation(problem, lambdas)
     if method == "kfold":
         return k_fold_cross_validation(
-            problem, lambdas, num_folds=num_folds, backend=backend, rng=rng
+            problem, lambdas, num_folds=num_folds, backend=backend, rng=rng, engine=engine
         )
     raise ValueError(f"unknown lambda selection method {method!r}")

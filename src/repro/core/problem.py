@@ -30,7 +30,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cellcycle.parameters import CellCycleParameters
-from repro.core.basis import SplineBasis
 from repro.core.constraints import Constraint, ConstraintSet, build_constraint_set
 from repro.core.forward import ForwardModel
 from repro.numerics.qp import QPResult, QPWorkspace, QuadraticProgram, solve_qp
@@ -99,6 +98,10 @@ class DeconvolutionProblem:
         # problems that differ only in their measurements.
         self._hessians: dict[float, np.ndarray] = {}
         self._workspaces: dict[float, QPWorkspace] = {}
+        # Measurement-independent state built by the lambda selectors (GCV
+        # eigendecompositions, k-fold plans); shared across siblings so a
+        # multi-species batch pays for each factorization once.
+        self._selection_caches: dict[object, object] = {}
 
     def _normalise_sigma(self, sigma: np.ndarray | float | None) -> np.ndarray:
         if sigma is None:
@@ -192,6 +195,26 @@ class DeconvolutionProblem:
             self._workspaces[key] = workspace
         return workspace
 
+    def selection_cache(self, key: object, factory, *, fingerprint: object = None):
+        """Measurement-independent lambda-selection state, built on demand.
+
+        The cache is shared (by reference) with every sibling from
+        :meth:`with_measurements`, so eigendecompositions and fold plans
+        computed while selecting ``lambda`` for one species are reused by all
+        the others.  Each ``key`` holds one slot: the entry is rebuilt when
+        the caller's ``fingerprint`` (e.g. the fold assignment and lambda
+        grid a k-fold plan was built for) differs from the stored one, so
+        callers that legitimately vary their inputs — a fresh permutation per
+        call from a shared ``Generator``, say — replace the slot instead of
+        growing the cache without bound.
+        """
+        entry = self._selection_caches.get(key)
+        if entry is not None and entry[0] == fingerprint:
+            return entry[1]
+        value = factory()
+        self._selection_caches[key] = (fingerprint, value)
+        return value
+
     def solve(
         self,
         lam: float,
@@ -246,6 +269,7 @@ class DeconvolutionProblem:
         sibling._programs = {}
         sibling._hessians = self._hessians
         sibling._workspaces = self._workspaces
+        sibling._selection_caches = self._selection_caches
         return sibling
 
     def restrict(self, indices: np.ndarray) -> "DeconvolutionProblem":

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.deconvolver import Deconvolver
 from repro.dynamics.lotka_volterra import LotkaVolterraModel
 from repro.estimation.fitting import FitResult, fit_parameters
 from repro.estimation.objectives import TimeSeriesObjective

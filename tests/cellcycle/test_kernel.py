@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.cellcycle.kernel import KernelBuilder, VolumeKernel
-from repro.cellcycle.parameters import CellCycleParameters
 from repro.cellcycle.volume import LinearVolumeModel
-from repro.data.synthetic import constant_profile, linear_profile
+from repro.data.synthetic import linear_profile
 
 
 class TestVolumeKernelContainer:
@@ -145,3 +144,19 @@ class TestKernelBuilder:
         pulse = single_pulse_profile(center=0.5, width=0.05, amplitude=1.0, baseline=0.0)
         population = small_kernel.apply_function(pulse)
         assert population.max() < 0.9 * pulse.values.max()
+
+
+class TestVectorizedSmoothing:
+    def test_smooth_rows_matches_per_row_reference(self, paper_parameters):
+        builder = KernelBuilder(paper_parameters, num_cells=100, phase_bins=40, smoothing_window=5)
+        rng = np.random.default_rng(3)
+        rows = rng.uniform(0.0, 2.0, size=(6, 40))
+        widths = np.full(40, 1.0 / 40)
+        vectorized = builder._smooth_rows(rows, widths)
+        reference = np.stack([builder._smooth_row(row, widths) for row in rows])
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-12, atol=1e-12)
+
+    def test_smooth_rows_identity_window(self, paper_parameters):
+        builder = KernelBuilder(paper_parameters, num_cells=100, phase_bins=20, smoothing_window=1)
+        rows = np.ones((3, 20))
+        assert builder._smooth_rows(rows, np.full(20, 0.05)) is rows

@@ -113,3 +113,23 @@ class TestMeanPhaseProgression:
         # (younger phases slightly over-represented).
         assert fractions.min() > 0.04
         assert fractions.max() < 0.2
+
+
+class TestPhasesAtManyMemo:
+    def test_repeat_call_returns_memoised_arrays(self):
+        simulator = PopulationSimulator(CellCycleParameters())
+        history = simulator.run(600, 150.0, rng=11)
+        times = np.linspace(0.0, 150.0, 6)
+        first = history.phases_at_many(times)
+        second = history.phases_at_many(times)
+        for a, b in zip(first, second):
+            assert a is b
+            assert not a.flags.writeable
+
+    def test_different_grid_invalidates_memo(self):
+        simulator = PopulationSimulator(CellCycleParameters())
+        history = simulator.run(600, 150.0, rng=11)
+        first = history.phases_at_many(np.linspace(0.0, 150.0, 6))
+        other = history.phases_at_many(np.linspace(0.0, 150.0, 7))
+        assert first[0] is not other[0]
+        assert other[0].size != first[0].size

@@ -1,0 +1,213 @@
+"""Equivalence tests for the batched CV / volume-kernel / multi-species paths.
+
+The batched layers must be drop-in replacements: the fold-eigendecomposition
+CV engine against the per-(fold, lambda) solve engine, the Horner volume pass
+against the generic per-pair evaluation, and the parallel ``fit_many`` against
+its serial execution (bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cellcycle.volume import SmoothVolumeModel
+from repro.core.basis import SplineBasis
+from repro.core.constraints import default_constraints
+from repro.core.deconvolver import Deconvolver
+from repro.core.forward import ForwardModel
+from repro.core.lambda_selection import (
+    KFoldEigPlan,
+    default_lambda_grid,
+    k_fold_cross_validation,
+)
+from repro.core.problem import DeconvolutionProblem
+from repro.data.noise import GaussianMagnitudeNoise
+from repro.data.synthetic import single_pulse_profile
+
+
+@pytest.fixture()
+def seeded_problem(small_kernel, paper_parameters):
+    truth = single_pulse_profile(center=0.45, width=0.12, amplitude=2.0, baseline=0.3)
+    clean = small_kernel.apply_function(truth)
+    noise = GaussianMagnitudeNoise(0.08)
+    values = noise.apply(clean, 17)
+    sigma = noise.standard_deviations(clean)
+    forward = ForwardModel(small_kernel, SplineBasis(num_basis=12))
+    return DeconvolutionProblem(
+        forward,
+        values,
+        sigma=sigma,
+        constraints=default_constraints(),
+        parameters=paper_parameters,
+    )
+
+
+@pytest.fixture()
+def species_matrix(small_kernel, rng):
+    truth = single_pulse_profile(center=0.45, width=0.12, amplitude=2.0, baseline=0.3)
+    clean = small_kernel.apply_function(truth)
+    return np.column_stack(
+        [
+            clean * (1.0 + 0.25 * species) + 0.02 * rng.normal(size=clean.size)
+            for species in range(5)
+        ]
+    )
+
+
+class TestKFoldEigEngine:
+    def test_scores_match_solve_engine(self, seeded_problem):
+        """Fold-eig CV scores match the dense per-fold Cholesky scores to 1e-8."""
+        lambdas = default_lambda_grid(11, 1e-6, 1e2)
+        reference = k_fold_cross_validation(
+            seeded_problem, lambdas, num_folds=4, rng=3, engine="solve"
+        )
+        eig = k_fold_cross_validation(
+            seeded_problem, lambdas, num_folds=4, rng=3, engine="eig"
+        )
+        assert eig.best_lambda == reference.best_lambda
+        assert set(eig.scores) == set(reference.scores)
+        for lam, expected in reference.scores.items():
+            assert eig.scores[lam] == pytest.approx(expected, rel=1e-8, abs=1e-8)
+
+    def test_auto_engine_matches_eig(self, seeded_problem):
+        lambdas = default_lambda_grid(7)
+        auto = k_fold_cross_validation(seeded_problem, lambdas, rng=0, engine="auto")
+        eig = k_fold_cross_validation(seeded_problem, lambdas, rng=0, engine="eig")
+        assert auto.scores == eig.scores
+
+    def test_unknown_engine_rejected(self, seeded_problem):
+        with pytest.raises(ValueError):
+            k_fold_cross_validation(
+                seeded_problem, default_lambda_grid(5), engine="nope"
+            )
+
+    @staticmethod
+    def _cached_plans(problem):
+        return [
+            entry[1]
+            for entry in problem._selection_caches.values()
+            if isinstance(entry[1], KFoldEigPlan)
+        ]
+
+    def test_plan_cached_and_shared_with_siblings(self, seeded_problem):
+        lambdas = default_lambda_grid(7)
+        k_fold_cross_validation(seeded_problem, lambdas, rng=0, engine="eig")
+        assert len(self._cached_plans(seeded_problem)) == 1
+        sibling = seeded_problem.with_measurements(seeded_problem.measurements * 1.1)
+        k_fold_cross_validation(sibling, lambdas, rng=0, engine="eig")
+        assert sibling._selection_caches is seeded_problem._selection_caches
+        assert len(self._cached_plans(sibling)) == 1
+
+    def test_plan_cache_stays_bounded_under_generator_rng(self, seeded_problem):
+        """A shared Generator draws fresh folds per call; the one-slot plan
+        cache replaces the entry instead of accumulating one plan per call."""
+        lambdas = default_lambda_grid(5)
+        generator = np.random.default_rng(9)
+        for _ in range(4):
+            k_fold_cross_validation(
+                seeded_problem, lambdas, rng=generator, engine="eig"
+            )
+        assert len(self._cached_plans(seeded_problem)) == 1
+
+    def test_sibling_scores_match_fresh_problem(self, seeded_problem, paper_parameters):
+        """Scoring through a cached plan equals scoring from a cold problem."""
+        lambdas = default_lambda_grid(7)
+        k_fold_cross_validation(seeded_problem, lambdas, rng=0, engine="eig")
+        new_values = seeded_problem.measurements * 1.1
+        via_plan = k_fold_cross_validation(
+            seeded_problem.with_measurements(new_values), lambdas, rng=0, engine="eig"
+        )
+        fresh = DeconvolutionProblem(
+            seeded_problem.forward,
+            new_values,
+            sigma=seeded_problem.sigma,
+            constraints=seeded_problem.constraints,
+            parameters=paper_parameters,
+        )
+        cold = k_fold_cross_validation(fresh, lambdas, rng=0, engine="eig")
+        for lam, expected in cold.scores.items():
+            assert via_plan.scores[lam] == pytest.approx(expected, rel=1e-10)
+
+
+class TestBatchedVolumeKernel:
+    def test_pair_evaluation_matches_generic_path(self, rng):
+        """Horner pair pass matches per-pair ``volume`` to machine precision."""
+        model = SmoothVolumeModel(v0=1.7)
+        num_cells = 300
+        transition = rng.uniform(0.35, 0.75, size=num_cells)
+        cell_idx = rng.integers(0, num_cells, size=4000)
+        phi = rng.uniform(0.0, 1.0, size=cell_idx.size)
+        batched = model.volume_for_cells(phi, transition, cell_idx)
+        generic = model.volume(phi, transition[cell_idx])
+        np.testing.assert_allclose(batched, generic, rtol=1e-14, atol=1e-14)
+
+    def test_boundary_phases_and_coefficient_reuse(self, rng):
+        model = SmoothVolumeModel()
+        transition = rng.uniform(0.4, 0.7, size=8)
+        cell_idx = np.arange(8)
+        phi = np.concatenate([np.zeros(4), np.ones(4)])
+        first = model.volume_for_cells(phi, transition, cell_idx)
+        # Second call hits the memoised coefficients; results are identical.
+        second = model.volume_for_cells(phi, transition, cell_idx)
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_allclose(first, model.volume(phi, transition[cell_idx]), rtol=1e-14)
+
+    def test_invalid_inputs_still_rejected(self):
+        model = SmoothVolumeModel()
+        with pytest.raises(ValueError):
+            model.volume_for_cells(np.array([1.5]), np.array([0.5]), np.array([0]))
+        with pytest.raises(ValueError):
+            model.volume_for_cells(np.array([0.5]), np.array([1.0]), np.array([0]))
+
+
+class TestFitManyBatched:
+    @pytest.mark.parametrize("method", ["gcv", "kfold"])
+    def test_parallel_bit_for_bit_equals_serial(
+        self, small_kernel, paper_parameters, measurement_times, species_matrix, method
+    ):
+        serial = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        serial_results = serial.fit_many(
+            measurement_times,
+            species_matrix,
+            lambda_method=method,
+            workers=1,
+            warm_start_chain=False,
+        )
+        parallel = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        parallel_results = parallel.fit_many(
+            measurement_times, species_matrix, lambda_method=method, workers=3
+        )
+        assert len(serial_results) == len(parallel_results) == species_matrix.shape[1]
+        for a, b in zip(serial_results, parallel_results):
+            assert a.lam == b.lam
+            assert np.array_equal(a.coefficients, b.coefficients)
+            assert np.array_equal(a.fitted, b.fitted)
+
+    def test_chained_default_close_to_independent(
+        self, small_kernel, paper_parameters, measurement_times, species_matrix
+    ):
+        chained = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        chained_results = chained.fit_many(measurement_times, species_matrix)
+        independent = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        independent_results = independent.fit_many(
+            measurement_times, species_matrix, warm_start_chain=False
+        )
+        for a, b in zip(chained_results, independent_results):
+            assert a.lam == b.lam
+            np.testing.assert_allclose(a.coefficients, b.coefficients, atol=1e-7)
+
+    def test_fixed_lambda_parallel(
+        self, small_kernel, paper_parameters, measurement_times, species_matrix
+    ):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        results = deconvolver.fit_many(
+            measurement_times, species_matrix, lam=1e-3, workers=2
+        )
+        assert all(result.lam == 1e-3 for result in results)
+        assert all(result.solver_converged for result in results)
+
+    def test_matrix_shape_validated(self, small_kernel, paper_parameters, measurement_times):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        with pytest.raises(ValueError):
+            deconvolver.fit_many(measurement_times, np.zeros(measurement_times.size))

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.dynamics.base import ODEModel
 from repro.dynamics.goodwin import GoodwinOscillator
 from repro.dynamics.lotka_volterra import LotkaVolterraModel
 from repro.dynamics.repressilator import Repressilator

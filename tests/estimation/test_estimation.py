@@ -108,6 +108,7 @@ class TestFitParameters:
         assert np.isnan(result.mean_relative_error)
 
     def test_linear_space_fit(self):
-        quadratic = lambda p: float(np.sum((p - np.array([0.3, -0.7])) ** 2))
+        def quadratic(p):
+            return float(np.sum((p - np.array([0.3, -0.7])) ** 2))
         result = fit_parameters(quadratic, np.zeros(2), log_space=False)
         assert np.allclose(result.parameters, [0.3, -0.7], atol=1e-3)

@@ -93,13 +93,15 @@ class TestIntegrateSamples:
 class TestIntegrateFunction:
     def test_gaussian_density_integrates_to_one(self):
         sigma = 0.02
-        density = lambda x: np.exp(-0.5 * ((x - 0.15) / sigma) ** 2) / (sigma * np.sqrt(2 * np.pi))
+        def density(x):
+            return np.exp(-0.5 * ((x - 0.15) / sigma) ** 2) / (sigma * np.sqrt(2 * np.pi))
         value = integrate_function(density, 0.0, 1.0, order=32, pieces=8)
         assert np.isclose(value, 1.0, atol=1e-6)
 
     def test_piecewise_refinement_helps_narrow_features(self):
         sigma = 0.005
-        density = lambda x: np.exp(-0.5 * ((x - 0.5) / sigma) ** 2)
+        def density(x):
+            return np.exp(-0.5 * ((x - 0.5) / sigma) ** 2)
         coarse = integrate_function(density, 0.0, 1.0, order=8, pieces=1)
         fine = integrate_function(density, 0.0, 1.0, order=8, pieces=64)
         exact = sigma * np.sqrt(2 * np.pi)

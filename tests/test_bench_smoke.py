@@ -6,13 +6,16 @@ sizes so the per-stage timing harness (and the JSON baseline machinery behind
 of the full-size benchmark.
 """
 
+import copy
 import json
 
 import pytest
 
 from repro.benchmarks.solvepath import (
     SMOKE_CONFIG,
+    compare_reports,
     format_report,
+    main,
     run_solvepath_benchmark,
     write_baseline,
 )
@@ -25,6 +28,8 @@ EXPECTED_STAGES = {
     "lambda_gcv",
     "lambda_kfold",
     "bootstrap",
+    "fit_many_gcv",
+    "fit_many_kfold",
 }
 
 
@@ -61,3 +66,63 @@ def test_report_formats(smoke_report):
     text = format_report(smoke_report)
     assert "solvepath benchmark" in text
     assert "qp_solve_warm" in text
+    assert "fit_many_kfold" in text
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self, smoke_report):
+        ok, table = compare_reports(smoke_report, smoke_report, tolerance=3.0)
+        assert ok
+        assert "REGRESSION" not in table
+
+    def test_regression_detected_with_readable_diff(self, smoke_report):
+        baseline = copy.deepcopy(smoke_report)
+        baseline["stages_seconds"]["qp_solve"] /= 10.0
+        ok, table = compare_reports(smoke_report, baseline, tolerance=3.0, min_seconds=0.0)
+        assert not ok
+        regression_lines = [line for line in table.splitlines() if "REGRESSION" in line]
+        assert len(regression_lines) == 1
+        assert regression_lines[0].startswith("qp_solve")
+
+    def test_floor_shields_microsecond_stages(self, smoke_report):
+        """A micro-stage over the ratio but under the absolute floor passes."""
+        baseline = copy.deepcopy(smoke_report)
+        baseline["stages_seconds"]["qp_solve"] = 1e-9
+        ok, table = compare_reports(smoke_report, baseline, tolerance=3.0, min_seconds=1.0)
+        assert ok
+        assert "ok (below floor)" in table
+
+    def test_stage_missing_from_baseline_is_ignored(self, smoke_report):
+        baseline = copy.deepcopy(smoke_report)
+        del baseline["stages_seconds"]["fit_many_kfold"]
+        ok, table = compare_reports(smoke_report, baseline, tolerance=3.0)
+        assert ok
+        assert "missing in baseline (ignored)" in table
+
+    def test_stage_missing_from_current_run_fails(self, smoke_report):
+        """A stage silently dropping out of the benchmark is a regression."""
+        baseline = copy.deepcopy(smoke_report)
+        baseline["stages_seconds"]["retired_stage"] = 1.0
+        ok, table = compare_reports(smoke_report, baseline, tolerance=3.0)
+        assert not ok
+        assert "missing from current run" in table
+
+    def test_config_mismatch_noted(self, smoke_report):
+        baseline = copy.deepcopy(smoke_report)
+        baseline["config"]["num_cells"] = 1
+        ok, table = compare_reports(smoke_report, baseline, tolerance=3.0)
+        assert ok
+        assert "config differs" in table
+
+    def test_tolerance_must_exceed_one(self, smoke_report):
+        with pytest.raises(ValueError):
+            compare_reports(smoke_report, smoke_report, tolerance=1.0)
+
+
+def test_cli_compare_gate_round_trip(smoke_report, tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(smoke_report, str(baseline_path))
+    code = main(["--smoke", "--compare", str(baseline_path), "--tolerance", "1000"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bench regression gate" in out

@@ -7,7 +7,6 @@ invariants that should hold regardless of the particular profile.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
