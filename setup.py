@@ -1,9 +1,13 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Legacy-compatibility setup shim.
 
-All project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` can fall back to a legacy editable install when
-PEP 660 editable wheels cannot be built (offline environments without the
-``wheel`` distribution).
+All project metadata — name, version, dependencies, the ``repro`` console
+script, package discovery under ``src/`` — lives in ``pyproject.toml``.
+This file carries none of it and exists only so that ``pip install -e .``
+can fall back to a legacy (``setup.py develop``) editable install on
+toolchains that cannot build PEP 660 editable wheels, e.g. offline
+environments whose ``pip``/``setuptools`` predate editable-wheel support or
+lack the ``wheel`` distribution.  Do not add configuration here; edit
+``pyproject.toml`` instead.
 """
 
 from setuptools import setup

@@ -62,6 +62,22 @@ PR1_BASELINE_SECONDS = {
     "fit_many_kfold": 1.190e-1,
 }
 
+# Timings of the PR 2 batched CV / kernel / multi-species layer at the
+# default sizes (same machine): the values of PR 2's committed
+# BENCH_solvepath.json.  They anchor the ``speedup_vs_pr2`` column, i.e. what
+# the batched multi-RHS engine and the fused kernel build (PR 3) bought.
+PR2_BASELINE_SECONDS = {
+    "qp_solve": 3.622e-5,
+    "qp_solve_warm": 2.489e-5,
+    "problem_assembly_cold": 3.355e-3,
+    "lambda_gcv": 1.574e-4,
+    "lambda_kfold": 1.392e-3,
+    "bootstrap": 1.297e-2,
+    "kernel_build": 3.280e-3,
+    "fit_many_gcv": 3.853e-3,
+    "fit_many_kfold": 1.753e-2,
+}
+
 DEFAULT_CONFIG = {
     "num_cells": 6000,
     "phase_bins": 80,
@@ -124,15 +140,22 @@ def run_solvepath_benchmark(
       refactorized here on every call).
     * ``qp_solve_warm`` -- workspace solve warm-started with the previous
       solution and active set.
+    * ``qp_solve_batch`` -- one stacked multi-RHS ``solve_batch`` over
+      ``num_replicates`` gradients sharing the per-lambda factorization
+      (whole batch, not per row).
     * ``lambda_gcv`` -- eigendecomposition GCV over the lambda grid.
     * ``lambda_kfold`` -- k-fold CV through the per-fold generalised
-      eigendecomposition plan (diagonal rescale per candidate, constrained
-      solves only where inequalities bind).
-    * ``bootstrap`` -- residual bootstrap with the shared fit workspace and
-      warm-started replicates.
+      eigendecomposition plan.  With best-of-``repeats`` timing the plan is
+      cached after the first repeat, so this measures the *warm* CV call:
+      diagonal rescales plus the batched KKT verification of the remembered
+      active sets, with constrained solves only where the sets changed.
+    * ``bootstrap`` -- residual bootstrap through the batched engine (all
+      replicates as one multi-RHS solve seeded with the base fit's active
+      set).
     * ``fit_many_gcv`` / ``fit_many_kfold`` -- multi-species batch of
       ``num_species`` fits sharing one workspace and the lambda grid's
-      eigendecompositions/fold plans across species.
+      eigendecompositions/fold plans across species; final solves run
+      through the batched engine grouped by selected lambda.
     """
     from repro.cellcycle.kernel import KernelBuilder
     from repro.cellcycle.parameters import CellCycleParameters
@@ -190,6 +213,16 @@ def run_solvepath_benchmark(
     stages["qp_solve_warm"] = _time(
         lambda: problem.solve(
             lam, backend="active_set", x0=base.x, active_set=base.active_set
+        ),
+        repeats,
+    )
+    batch_rng = np.random.default_rng(3)
+    replicate_matrix = measurements[:, None] + 0.01 * batch_rng.normal(
+        size=(measurements.size, int(num_replicates))
+    )
+    stages["qp_solve_batch"] = _time(
+        lambda: problem.solve_batch(
+            lam, replicate_matrix, shared_active_set=base.active_set
         ),
         repeats,
     )
@@ -268,6 +301,8 @@ def run_solvepath_benchmark(
         "speedup_vs_seed": baseline_speedups(SEED_BASELINE_SECONDS),
         "pr1_baseline_seconds": PR1_BASELINE_SECONDS if is_default else None,
         "speedup_vs_pr1": baseline_speedups(PR1_BASELINE_SECONDS),
+        "pr2_baseline_seconds": PR2_BASELINE_SECONDS if is_default else None,
+        "speedup_vs_pr2": baseline_speedups(PR2_BASELINE_SECONDS),
         "platform": platform.platform(),
     }
 
@@ -284,12 +319,15 @@ def format_report(report: dict) -> str:
     lines = [f"solvepath benchmark ({report['config']})"]
     seed_speedups = report.get("speedup_vs_seed") or {}
     pr1_speedups = report.get("speedup_vs_pr1") or {}
+    pr2_speedups = report.get("speedup_vs_pr2") or {}
     for stage, seconds in sorted(report["stages_seconds"].items()):
         line = f"  {stage:22s} {seconds * 1e3:10.3f} ms"
         if stage in seed_speedups:
             line += f"   ({seed_speedups[stage]:.1f}x vs seed)"
         if stage in pr1_speedups:
             line += f"   ({pr1_speedups[stage]:.1f}x vs PR1)"
+        if stage in pr2_speedups:
+            line += f"   ({pr2_speedups[stage]:.1f}x vs PR2)"
         lines.append(line)
     return "\n".join(lines)
 

@@ -252,7 +252,13 @@ class KernelBuilder:
         birth/division interval of every cell is located in the sorted time
         grid with ``searchsorted`` (instead of a full-history alive mask per
         time), and the volume-weighted phase histograms of every snapshot are
-        accumulated with a single ``bincount`` over (time, bin) pairs.
+        accumulated with a single ``bincount`` over (time, bin) pairs.  The
+        volume evaluation is **fused** into that accumulation: the memoised
+        per-cell polynomial coefficients are Horner-evaluated directly into
+        the ``bincount`` weight buffer
+        (:meth:`~repro.cellcycle.volume.VolumeModel.volume_for_cells_into`),
+        and the bin indices are turned into flat (time, bin) keys in place —
+        no intermediate volume array, no separate Horner and binning stages.
         """
         times = ensure_1d(times, "times")
         if np.any(times < 0):
@@ -275,17 +281,17 @@ class KernelBuilder:
             empty = sorted_times[int(np.argmin(counts_sorted > 0))]
             raise RuntimeError(f"no live cells at time {empty}; increase num_cells")
 
-        # Volumes come from the (possibly caller-supplied) simulator's model,
-        # matching the previous per-snapshot behaviour.
-        volumes = np.asarray(
-            simulator.volume_model.volume_for_cells(
-                phases, history.transition_phases, cell_idx
-            ),
-            dtype=float,
+        # Fused accumulation: bin each pair, then evaluate the (possibly
+        # caller-supplied) volume model straight into the weight buffer of
+        # the histogram pass.  The bin indices double as the flat (time, bin)
+        # keys after an in-place shift by the snapshot offset.
+        keys = _uniform_bin_indices(phases, edges)
+        keys += time_idx * num_bins
+        weights = simulator.volume_model.volume_for_cells_into(
+            phases, history.transition_phases, cell_idx, np.empty(phases.shape)
         )
-        bins = _uniform_bin_indices(phases, edges)
         histograms = np.bincount(
-            time_idx * num_bins + bins, weights=volumes, minlength=num_times * num_bins
+            keys, weights=weights, minlength=num_times * num_bins
         ).reshape(num_times, num_bins)
         # Every pair lands in exactly one bin, so the per-time total volume
         # is just the histogram row sum -- no second bincount pass needed.

@@ -74,6 +74,24 @@ class VolumeModel(abc.ABC):
         """
         return self.volume(phi, np.asarray(transition_phases, dtype=float)[cell_indices])
 
+    def volume_for_cells_into(
+        self,
+        phi: np.ndarray,
+        transition_phases: np.ndarray,
+        cell_indices: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Pair volumes written into a caller-provided buffer.
+
+        Same contract as :meth:`volume_for_cells` with the result stored in
+        ``out`` (shape of ``phi``) and returned.  The fused kernel build
+        evaluates volumes directly into the buffer that becomes the binned
+        accumulation weights, so subclasses can override this to skip every
+        intermediate array; the base implementation simply copies.
+        """
+        out[...] = self.volume_for_cells(phi, transition_phases, cell_indices)
+        return out
+
     def swarmer_birth_volume(self) -> float:
         """Volume of a newborn swarmer daughter (``v(0)``)."""
         return 0.4 * self.v0
@@ -213,26 +231,71 @@ class SmoothVolumeModel(VolumeModel):
         regrouping permutes float rounding at the last ulp).
         """
         phi = np.asarray(phi, dtype=float)
+        return self.volume_for_cells_into(
+            phi, transition_phases, cell_indices, np.empty(phi.shape)
+        )
+
+    def volume_for_cells_into(
+        self,
+        phi: np.ndarray,
+        transition_phases: np.ndarray,
+        cell_indices: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Fused Horner evaluation straight into a caller-provided buffer.
+
+        The piecewise polynomial is accumulated in place in ``out``: the
+        piece covering the **majority** of the pairs is Horner-evaluated over
+        the whole buffer, and only the minority piece is recomputed and
+        scattered through its boolean mask — no full second-piece array, no
+        ``where`` allocation.  This is the path the fused kernel build uses:
+        ``out`` is the weight buffer of the binned accumulation, so volume
+        evaluation flows directly into the histogram pass.
+        """
+        phi = np.asarray(phi, dtype=float)
         s = np.asarray(transition_phases, dtype=float)
+        cell_indices = np.asarray(cell_indices)
         if np.any(phi < -1e-9) or np.any(phi > 1.0 + 1e-9):
             raise ValueError("phase values must lie in [0, 1]")
         if np.any(s <= 0.0) or np.any(s >= 1.0):
             raise ValueError("transition phases must lie strictly inside (0, 1)")
         phi = np.clip(phi, 0.0, 1.0)
         late_base, linear, quad, cubic = self._cached_coefficients(s)
-        gathered_linear = linear[cell_indices]
-        early = cubic[cell_indices]
-        early = early * phi
-        early += quad[cell_indices]
-        early *= phi
-        early += gathered_linear
-        early *= phi
-        early += 0.4
-        late = gathered_linear * phi
-        late += late_base[cell_indices]
-        result = np.where(phi < s[cell_indices], early, late)
-        result *= self.v0
-        return result
+        early_mask = phi < s[cell_indices]
+        num_early = int(np.count_nonzero(early_mask))
+        if 2 * num_early <= phi.size:
+            # Late-dominant (e.g. a culture past its first division wave):
+            # the linear piece fills the buffer, the cubic minority is
+            # patched in through the mask.
+            np.take(linear, cell_indices, out=out)
+            out *= phi
+            out += late_base[cell_indices]
+            if num_early:
+                indices = cell_indices[early_mask]
+                early_phi = phi[early_mask]
+                early = cubic[indices] * early_phi
+                early += quad[indices]
+                early *= early_phi
+                early += linear[indices]
+                early *= early_phi
+                early += 0.4
+                out[early_mask] = early
+        else:
+            np.take(cubic, cell_indices, out=out)
+            out *= phi
+            out += quad[cell_indices]
+            out *= phi
+            out += linear[cell_indices]
+            out *= phi
+            out += 0.4
+            if num_early < phi.size:
+                late_mask = ~early_mask
+                indices = cell_indices[late_mask]
+                late = linear[indices] * phi[late_mask]
+                late += late_base[indices]
+                out[late_mask] = late
+        out *= self.v0
+        return out
 
 
 _VOLUME_MODELS = {

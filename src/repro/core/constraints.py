@@ -133,6 +133,7 @@ class PositivityConstraint(Constraint):
         basis: SplineBasis,
         parameters: CellCycleParameters,
     ) -> None:
+        """Append one ``f_alpha(phi_j) >= 0`` row per grid phase."""
         grid = phase_grid(self.grid_size)
         rows = basis.evaluate(grid)
         constraint_set.add_inequalities(rows, np.zeros(grid.size), self.name)
@@ -169,6 +170,7 @@ class RNAConservationConstraint(Constraint):
         basis: SplineBasis,
         parameters: CellCycleParameters,
     ) -> None:
+        """Append the conservation equality row (eq. 7) over the basis."""
         grid, weights, density = _density_quadrature(parameters, self.quadrature_size)
         basis_at_one = basis.evaluate(np.array([1.0]))[0]
         basis_at_zero = basis.evaluate(np.array([0.0]))[0]
@@ -199,6 +201,7 @@ class RateContinuityConstraint(Constraint):
         basis: SplineBasis,
         parameters: CellCycleParameters,
     ) -> None:
+        """Append the rate-continuity equality row (eq. 17) over the basis."""
         grid, weights, density = _density_quadrature(parameters, self.quadrature_size)
         # beta(phi) = 0.4 / (1 - phi) diverges at phi = 1, where the transition
         # density has long since vanished; evaluate the product beta * p with

@@ -298,6 +298,7 @@ class Deconvolver:
         lambda_method: str = "gcv",
         lambda_grid: np.ndarray | None = None,
         rng: SeedLike = 0,
+        engine: str = "auto",
         workers: int | None = None,
         warm_start_chain: bool = True,
     ) -> list[DeconvolutionResult]:
@@ -308,32 +309,62 @@ class Deconvolver:
         factorizations *and* the lambda search's eigendecompositions (the GCV
         pencil, the k-fold per-fold plans) through one :class:`FitWorkspace`
         and its template problem, so the per-species marginal cost is a
-        gradient, a grid scoring pass and one QP solve.
+        gradient, a grid scoring pass and one QP solve — or, on the default
+        batched engine, one *row* of a stacked multi-RHS solve.
 
         Parameters
         ----------
         times, sigma, lam, lambda_method, lambda_grid, rng:
             As in :meth:`fit`, applied to every species.
+        engine:
+            Which execution engine runs the final per-species solves (lambda
+            selection is always serial so the shared plans are filled
+            deterministically):
+
+            * ``"batch"`` — species are grouped by their selected lambda and
+              each group is solved as one stacked multi-RHS
+              :meth:`~repro.core.problem.DeconvolutionProblem.solve_batch`
+              (shared factorization, single LAPACK calls; the active-set
+              loop only runs for species where positivity binds
+              differently).
+            * ``"serial"`` — one :meth:`fit` per species, chained through
+              ``warm_start_chain``.
+            * ``"thread"`` — the final solves fan out over a thread pool of
+              ``workers`` (bit-for-bit identical to ``serial`` with
+              ``warm_start_chain=False``); GIL-bound in the pure-Python
+              active-set loop, kept for reference.
+            * ``"process"`` — escape hatch for workloads that need real
+              CPU parallelism beyond the batched engine: each species is
+              fitted in a separate process (fresh problem assembly per
+              worker, so it only pays off for expensive per-species fits).
+              Requires picklable kernel/constraints and gives every worker
+              an identical copy of ``rng``.
+            * ``"auto"`` (default) — ``"batch"``.
         workers:
-            When greater than one, the final per-species QP solves are fanned
-            out over a thread pool of this size (lambda selection stays
-            serial so the shared plans are filled deterministically).  Each
-            worker solves with a private factorization workspace; results are
-            bit-for-bit identical to ``workers=1`` with
-            ``warm_start_chain=False`` (parallel solves cannot chain, so
-            ``workers>1`` implies it).
+            Pool size for the ``thread`` / ``process`` engines (defaults to
+            the species count, capped at 4 for threads and 8 for
+            processes); ignored by the ``batch`` and ``serial`` engines.
         warm_start_chain:
-            When true (default, serial mode only) each species' final solve
-            is warm-started from the previous species' solution and active
-            set.  Set to false for fully independent, order-insensitive
-            per-species solves.
+            Serial engine only: when true (default) each species' final
+            solve is warm-started from the previous species' solution and
+            active set.  Set to false for fully independent,
+            order-insensitive per-species solves.
+
+        Returns
+        -------
+        list[DeconvolutionResult]
+            One result per species, in column order.
         """
         matrix = np.asarray(measurement_matrix, dtype=float)
         if matrix.ndim != 2:
             raise ValueError("measurement_matrix must be two-dimensional")
         num_species = matrix.shape[1]
-        parallel = workers is not None and int(workers) > 1 and num_species > 1
-        if warm_start_chain and not parallel:
+        if engine == "auto":
+            engine = "batch"
+        if engine not in ("batch", "serial", "thread", "process"):
+            raise ValueError(f"unknown fit_many engine {engine!r}")
+
+        if engine == "serial" and warm_start_chain:
             results: list[DeconvolutionResult] = []
             previous: DeconvolutionResult | None = None
             for column in range(num_species):
@@ -350,12 +381,17 @@ class Deconvolver:
                 results.append(previous)
             return results
 
+        if engine == "process":
+            return self._fit_many_process(
+                times, matrix, sigma, lam, lambda_method, lambda_grid, rng, workers
+            )
+
         workspace = self.fit_workspace(times, sigma=sigma, rng=rng)
         problems = [workspace.problem_for(matrix[:, column]) for column in range(num_species)]
         lams: list[float] = []
         paths: list[dict[float, float]] = []
         for problem in problems:
-            # Selection runs serially even in parallel mode: the per-grid
+            # Selection runs serially on every engine: the per-grid
             # eigendecompositions and fold plans live in shared caches that
             # the first species fills and the rest reuse.
             if lam is None:
@@ -372,7 +408,35 @@ class Deconvolver:
                 lams.append(float(lam))
                 paths.append({})
 
-        if not parallel:
+        if engine == "batch":
+            # Species sharing a selected lambda also share their Hessian
+            # factorization, so each group is one stacked multi-RHS solve.
+            # Groups are swept from the largest lambda down (heavily
+            # smoothed solves activate the fewest constraints) and each
+            # group's last active set seeds the next group's batched KKT
+            # verification — the cross-species warm chain of the serial
+            # engine, expressed as shared-set guesses.
+            groups: dict[float, list[int]] = {}
+            for column, chosen in enumerate(lams):
+                groups.setdefault(chosen, []).append(column)
+            results = [None] * num_species  # type: ignore[list-item]
+            shared: list[int] | None = None
+            for chosen in sorted(groups, reverse=True):
+                columns = groups[chosen]
+                batch = workspace.template.solve_batch(
+                    chosen,
+                    matrix[:, columns],
+                    backend=self.solver_backend,
+                    shared_active_set=shared,
+                )
+                for row, column in enumerate(columns):
+                    results[column] = self._result_from_solve(
+                        problems[column], chosen, batch.result(row), times, paths[column]
+                    )
+                shared = batch.active_sets[-1] or shared
+            return results
+
+        if engine == "serial":
             return [
                 self._result_from_solve(
                     problem,
@@ -407,5 +471,89 @@ class Deconvolver:
                 problem, lams[index], qp_result, times, paths[index]
             )
 
-        with ThreadPoolExecutor(max_workers=int(workers)) as pool:
+        pool_size = int(workers) if workers else min(4, max(1, num_species))
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
             return list(pool.map(solve_one, range(num_species)))
+
+    def _fit_many_process(
+        self,
+        times: np.ndarray,
+        matrix: np.ndarray,
+        sigma: np.ndarray | float | None,
+        lam: float | None,
+        lambda_method: str,
+        lambda_grid: np.ndarray | None,
+        rng: SeedLike,
+        workers: int | None,
+    ) -> list[DeconvolutionResult]:
+        """Process-pool escape hatch behind ``fit_many(engine="process")``.
+
+        Each species is shipped to a worker process together with the
+        (picklable) kernel and configuration; the worker rebuilds a fresh
+        deconvolver and runs a complete single-species :meth:`fit`.  Nothing
+        is shared across workers, so this only pays off when per-species
+        fits are expensive enough to amortize the per-process assembly.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        kernel = self.ensure_kernel(ensure_1d(times, "times"), rng)
+        num_species = matrix.shape[1]
+        payloads = [
+            (
+                kernel,
+                self.parameters,
+                self.basis.num_basis,
+                self.constraints,
+                self.solver_backend,
+                np.asarray(times, dtype=float),
+                matrix[:, column],
+                sigma,
+                lam,
+                lambda_method,
+                lambda_grid,
+                rng,
+            )
+            for column in range(num_species)
+        ]
+        pool_size = int(workers) if workers else min(8, max(1, num_species))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            return list(pool.map(_fit_one_species_process, payloads))
+
+
+def _fit_one_species_process(payload: tuple) -> DeconvolutionResult:
+    """Worker entry point of ``fit_many(engine="process")``.
+
+    Rebuilds a deconvolver from the pickled configuration and fits one
+    species.  Module level so it is importable by worker processes under
+    every start method (fork and spawn).
+    """
+    (
+        kernel,
+        parameters,
+        num_basis,
+        constraints,
+        solver_backend,
+        times,
+        measurements,
+        sigma,
+        lam,
+        lambda_method,
+        lambda_grid,
+        rng,
+    ) = payload
+    deconvolver = Deconvolver(
+        kernel,
+        parameters=parameters,
+        num_basis=num_basis,
+        constraints=constraints,
+        solver_backend=solver_backend,
+    )
+    return deconvolver.fit(
+        times,
+        measurements,
+        sigma=sigma,
+        lam=lam,
+        lambda_method=lambda_method,
+        lambda_grid=lambda_grid,
+        rng=rng,
+    )

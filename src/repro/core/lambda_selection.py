@@ -30,11 +30,18 @@ Two selectors are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.problem import DeconvolutionProblem
-from repro.numerics.qp import QPResult, QPWorkspace, QuadraticProgram, solve_qp
+from repro.numerics.qp import (
+    QPResult,
+    QPWorkspace,
+    QuadraticProgram,
+    kkt_solve_diagonal_batch,
+    solve_qp,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ensure_1d
 
@@ -59,7 +66,20 @@ class LambdaSelectionResult:
 
 
 def default_lambda_grid(num: int = 13, low: float = 1e-6, high: float = 1e2) -> np.ndarray:
-    """Logarithmically spaced candidate grid for ``lambda``."""
+    """Logarithmically spaced candidate grid for ``lambda``.
+
+    Parameters
+    ----------
+    num:
+        Number of candidates (at least 2).
+    low, high:
+        Smallest and largest candidate, ``0 < low < high``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The candidates in ascending order, shape ``(num,)``.
+    """
     if num < 2:
         raise ValueError("num must be >= 2")
     if not (low > 0 and high > low):
@@ -178,6 +198,18 @@ def generalized_cross_validation(
     unconstrained linear smoother ``S``.  The whole grid is scored from one
     generalised eigendecomposition; the dense smoother build remains as a
     fallback for degenerate Gram matrices.
+
+    Parameters
+    ----------
+    problem:
+        The full deconvolution problem.
+    lambdas:
+        Candidate smoothing parameters.
+
+    Returns
+    -------
+    LambdaSelectionResult
+        The best candidate plus the per-candidate scores.
     """
     lambdas = ensure_1d(lambdas, "lambdas")
     try:
@@ -287,6 +319,56 @@ class _FoldEigState:
             feasible = slack.min(axis=1) >= -1e-9
         return gradient, solutions, feasible
 
+    def kkt_solutions(
+        self, gradient: np.ndarray, candidate_rows: Sequence[int], active: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched working-set KKT solves for a group of candidates.
+
+        Solves, for every candidate index in ``candidate_rows``, the
+        eigenbasis training problem with the equality rows plus the
+        inequality rows ``active`` pinned, in one stacked
+        :func:`~repro.numerics.qp.kkt_solve_diagonal_batch` call (the
+        candidate Hessians are diagonal in the fold eigenbasis).
+
+        Parameters
+        ----------
+        gradient:
+            Shared eigenbasis gradient of the training measurements.
+        candidate_rows:
+            Candidate indices (rows of :attr:`diagonals`) to solve.
+        active:
+            Inequality rows pinned active for every candidate in the group.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, numpy.ndarray]
+            ``(solutions, ineq_multipliers)`` with one row per candidate.
+        """
+        pieces = []
+        rhs_pieces = []
+        num_eq = 0
+        if self.eq_columns is not None:
+            pieces.append(self.eq_columns)
+            rhs_pieces.append(self.eq_vector)
+            num_eq = self.eq_columns.shape[0]
+        if len(active):
+            active_idx = np.asarray(active, dtype=int)
+            pieces.append(self.ineq_columns[active_idx])
+            rhs_pieces.append(self.ineq_vector[active_idx])
+        if pieces:
+            columns = np.vstack(pieces)
+            rhs = np.concatenate(rhs_pieces)
+        else:
+            columns = np.zeros((0, self.diagonals.shape[1]))
+            rhs = np.zeros(0)
+        return kkt_solve_diagonal_batch(
+            self.diagonals[np.asarray(candidate_rows, dtype=int)],
+            gradient,
+            columns,
+            rhs,
+            num_eq,
+        )
+
     def fallback_workspace(self, index: int) -> QPWorkspace:
         """Cached active-set workspace for one candidate's diagonal Hessian."""
         workspace = self.workspaces.get(index)
@@ -387,14 +469,30 @@ class KFoldEigPlan:
         valid: np.ndarray,
         backend: str,
     ) -> None:
-        """Constrained solves for the candidates the fast path cannot score."""
+        """Constrained solves for the candidates the fast path cannot score.
+
+        Candidates with a remembered active set from a previous scoring call
+        (warm cross-validation, later species of a batch) are first KKT
+        verified in stacked groups — one batched diagonal solve per distinct
+        active set, across all the lambdas sharing it — and only the
+        candidates whose active set actually changed fall through to the
+        sequential per-candidate active-set sweep.
+        """
         test_values = measurements[fold.test]
+        resolved = np.zeros(solutions.shape[0], dtype=bool)
+        if backend in ("auto", "active_set"):
+            self._verify_warm_candidates(
+                fold, gradient, feasible, scores, test_values, resolved
+            )
         previous: tuple[np.ndarray, list[int]] | None = None
         for index in range(solutions.shape[0]):
             if feasible[index]:
                 # A feasible diagonal solution is also the best warm start
                 # for the next infeasible candidate in the sweep.
                 previous = (solutions[index], [])
+                continue
+            if resolved[index]:
+                previous = fold.warm_starts[index]
                 continue
             warm = fold.warm_starts.get(index, previous)
             warm_x = warm[0] if warm is not None else None
@@ -416,10 +514,93 @@ class KFoldEigPlan:
             if not result.converged:
                 valid[index] = False
                 continue
-            fold.warm_starts[index] = (result.x, list(result.active_set))
-            previous = (result.x, list(result.active_set))
-            residual = (test_values - fold.test_modes @ result.x) / fold.test_sigma
+            solution, active = self._refine_with_kkt(fold, gradient, index, result)
+            fold.warm_starts[index] = (solution, active)
+            previous = (solution, active)
+            residual = (test_values - fold.test_modes @ solution) / fold.test_sigma
             scores[index] = float(residual @ residual)
+
+    @staticmethod
+    def _verify_warm_candidates(
+        fold: _FoldEigState,
+        gradient: np.ndarray,
+        feasible: np.ndarray,
+        scores: np.ndarray,
+        test_values: np.ndarray,
+        resolved: np.ndarray,
+        tol: float = 1e-9,
+    ) -> None:
+        """Score candidates whose remembered active set still checks out.
+
+        Groups the infeasible candidates by the active set remembered from a
+        previous scoring call and solves each group's working-set KKT
+        systems in one stacked diagonal-batch call; candidates whose
+        solution passes the primal/dual verification are exact constrained
+        optima and are scored directly, never entering the per-candidate
+        active-set loop.  On warm cross-validation calls (and later species
+        of a multi-species batch) this replaces nearly every fallback solve
+        with vectorized linear algebra.
+        """
+        if fold.ineq_columns is None:
+            return
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for index in np.flatnonzero(~feasible):
+            warm = fold.warm_starts.get(int(index))
+            if warm is not None and warm[1]:
+                groups.setdefault(tuple(warm[1]), []).append(int(index))
+        margin = tol * (1.0 + np.abs(fold.ineq_vector))
+        for active, rows in groups.items():
+            try:
+                x, lagrange = fold.kkt_solutions(gradient, rows, list(active))
+            except np.linalg.LinAlgError:
+                continue
+            ok = np.all(
+                x @ fold.ineq_columns.T - fold.ineq_vector[None, :] >= -margin[None, :],
+                axis=1,
+            )
+            if lagrange.size:
+                ok &= lagrange.min(axis=1) >= -tol
+            for position, index in enumerate(rows):
+                if not ok[position]:
+                    continue
+                solution = x[position]
+                fold.warm_starts[index] = (solution, list(active))
+                residual = (test_values - fold.test_modes @ solution) / fold.test_sigma
+                scores[index] = float(residual @ residual)
+                resolved[index] = True
+
+    @staticmethod
+    def _refine_with_kkt(
+        fold: _FoldEigState,
+        gradient: np.ndarray,
+        index: int,
+        result: QPResult,
+        tol: float = 1e-9,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Snap an active-set solution onto its working-set KKT system.
+
+        Re-solving the discovered working set through the same batched KKT
+        path used for warm verification makes repeated scoring reproducible:
+        a later call that verifies the remembered set reproduces this
+        solution to the last float rounding, so warm CV scores match the
+        cold ones to machine precision.  Falls back to the solver's own
+        iterate when the refined point fails the KKT check (degenerate
+        working set, or a backend that does not report active sets).
+        """
+        active = list(result.active_set)
+        if not active or fold.ineq_columns is None:
+            return result.x, active
+        try:
+            x, lagrange = fold.kkt_solutions(gradient, [index], active)
+        except np.linalg.LinAlgError:
+            return result.x, active
+        solution = x[0]
+        margin = tol * (1.0 + np.abs(fold.ineq_vector))
+        if np.all(fold.ineq_columns @ solution - fold.ineq_vector >= -margin) and (
+            lagrange.size == 0 or float(lagrange[0].min()) >= -tol
+        ):
+            return solution, active
+        return result.x, active
 
     @staticmethod
     def _feasible(fold: _FoldEigState, solution: np.ndarray, tol: float = 1e-6) -> bool:
@@ -538,6 +719,12 @@ def k_fold_cross_validation(
         problems from
         :meth:`~repro.core.problem.DeconvolutionProblem.with_measurements`,
         e.g. a multi-species batch — reuse the per-fold factorizations.
+
+    Returns
+    -------
+    LambdaSelectionResult
+        The best candidate plus the summed held-out scores (``inf`` for
+        candidates whose training solves failed to converge).
     """
     lambdas = ensure_1d(lambdas, "lambdas")
     num_measurements = problem.measurements.size
@@ -584,7 +771,25 @@ def select_lambda(
     rng: SeedLike = 0,
     engine: str = "auto",
 ) -> LambdaSelectionResult:
-    """Select ``lambda`` with the requested method (``gcv`` or ``kfold``)."""
+    """Select ``lambda`` with the requested method.
+
+    Parameters
+    ----------
+    problem:
+        The full deconvolution problem.
+    lambdas:
+        Candidate grid; defaults to :func:`default_lambda_grid`.
+    method:
+        ``"gcv"`` (:func:`generalized_cross_validation`) or ``"kfold"``
+        (:func:`k_fold_cross_validation`).
+    num_folds, backend, rng, engine:
+        Passed through to the k-fold selector; ignored by GCV.
+
+    Returns
+    -------
+    LambdaSelectionResult
+        The best candidate plus the per-candidate scores.
+    """
     if lambdas is None:
         lambdas = default_lambda_grid()
     if method == "gcv":

@@ -32,7 +32,13 @@ import numpy as np
 from repro.cellcycle.parameters import CellCycleParameters
 from repro.core.constraints import Constraint, ConstraintSet, build_constraint_set
 from repro.core.forward import ForwardModel
-from repro.numerics.qp import QPResult, QPWorkspace, QuadraticProgram, solve_qp
+from repro.numerics.qp import (
+    BatchQPResult,
+    QPResult,
+    QPWorkspace,
+    QuadraticProgram,
+    solve_qp,
+)
 from repro.utils.validation import check_positive, ensure_1d
 
 
@@ -225,9 +231,22 @@ class DeconvolutionProblem:
     ) -> QPResult:
         """Solve the constrained problem for a given ``lambda``.
 
-        ``x0`` and ``active_set`` warm-start the active-set backend, e.g.
-        with the solution and final active set of a neighbouring lambda or a
-        previous bootstrap replicate.
+        Parameters
+        ----------
+        lam:
+            Smoothing parameter of this solve.
+        backend:
+            QP backend (see :func:`repro.numerics.qp.solve_qp`).
+        x0, active_set:
+            Warm start for the active-set backend, e.g. the solution and
+            final active set of a neighbouring lambda or a previous
+            bootstrap replicate.
+
+        Returns
+        -------
+        QPResult
+            The solve outcome (solution, objective, active set,
+            convergence metadata).
         """
         program = self.quadratic_program(lam)
         return solve_qp(
@@ -236,6 +255,103 @@ class DeconvolutionProblem:
             backend=backend,
             active_set=active_set,
             workspace=self.solver_workspace(lam),
+        )
+
+    def solve_batch(
+        self,
+        lam: float,
+        measurement_matrix: np.ndarray,
+        *,
+        backend: str = "auto",
+        shared_active_set: Sequence[int] | None = None,
+        tol: float = 1e-9,
+    ) -> BatchQPResult:
+        """Solve the problem for many measurement vectors in one batched call.
+
+        All columns share this problem family's Hessian, constraint rows and
+        per-lambda factorization (:meth:`solver_workspace`): the batch is one
+        stacked gradient build plus a multi-RHS
+        :meth:`~repro.numerics.qp.QPWorkspace.solve_batch`, with the
+        per-problem active-set loop running only for the columns where a
+        different set of positivity rows binds.  This is the engine behind
+        bootstrap replicates and multi-species ``fit_many`` batches.
+
+        Parameters
+        ----------
+        lam:
+            Smoothing parameter shared by every column.
+        measurement_matrix:
+            Measurement vectors, shape ``(num_measurements, num_problems)``
+            — one column per problem (matching ``fit_many``'s layout).
+        backend:
+            ``"active_set"`` keeps every column on the in-repo solver;
+            ``"auto"`` (default) re-dispatches columns that fail to converge
+            (or land infeasible) through :func:`~repro.numerics.qp.solve_qp`
+            with its SciPy fallback; ``"scipy"`` solves every column through
+            the fallback backend.
+        shared_active_set:
+            Inequality rows expected active for most columns (e.g. a base
+            fit's active set when solving its bootstrap replicates).
+        tol:
+            Verification and active-set tolerance.
+
+        Returns
+        -------
+        BatchQPResult
+            Stacked solutions in column order.
+        """
+        matrix = np.asarray(measurement_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != self.measurements.size:
+            raise ValueError(
+                "measurement_matrix must have shape (num_measurements, num_problems)"
+            )
+        workspace = self.solver_workspace(lam)
+        if workspace is None or backend == "scipy":
+            return self._solve_batch_columnwise(lam, matrix, backend)
+        gradients = np.ascontiguousarray((-2.0 * (self.weighted_design.T @ matrix)).T)
+        batch = workspace.solve_batch(
+            gradients, shared_active_set=shared_active_set, tol=tol
+        )
+        if backend == "auto":
+            program = self.quadratic_program(lam)
+            for index in range(batch.num_problems):
+                # Rows accepted by the batched KKT verification already
+                # passed a stricter slack check; only fallback and failed
+                # rows need the solve_qp-style auto repair.
+                if batch.converged[index] and not batch.fallback[index]:
+                    continue
+                if batch.converged[index] and program.is_feasible(
+                    batch.x[index], tol=1e-6
+                ):
+                    continue
+                sibling = self.with_measurements(matrix[:, index])
+                repaired = sibling.solve(lam, backend="auto")
+                batch.x[index] = repaired.x
+                batch.objectives[index] = repaired.objective
+                batch.iterations[index] = repaired.iterations
+                batch.converged[index] = repaired.converged
+                batch.active_sets[index] = list(repaired.active_set)
+                batch.fallback[index] = True
+        return batch
+
+    def _solve_batch_columnwise(
+        self, lam: float, matrix: np.ndarray, backend: str
+    ) -> BatchQPResult:
+        """Column-at-a-time batch fallback (SciPy backend, indefinite Hessian)."""
+        results = [
+            self.with_measurements(matrix[:, index]).solve(lam, backend=backend)
+            for index in range(matrix.shape[1])
+        ]
+        num_problems = len(results)
+        return BatchQPResult(
+            x=np.array([result.x for result in results])
+            if num_problems
+            else np.zeros((0, self.num_coefficients)),
+            objectives=np.array([result.objective for result in results]),
+            iterations=np.array([result.iterations for result in results], dtype=int),
+            converged=np.array([result.converged for result in results], dtype=bool),
+            active_sets=[list(result.active_set) for result in results],
+            fallback=np.ones(num_problems, dtype=bool),
         )
 
     def with_measurements(self, measurements: np.ndarray) -> "DeconvolutionProblem":

@@ -117,7 +117,23 @@ class QuadraticProgram:
 
 @dataclass
 class QPResult:
-    """Result of a quadratic-program solve."""
+    """Result of a quadratic-program solve.
+
+    Attributes
+    ----------
+    x:
+        Solution vector.
+    objective:
+        Objective value ``0.5 x^T H x + g^T x`` at ``x``.
+    iterations:
+        Number of active-set (or backend) iterations performed.
+    converged:
+        Whether the solve reached optimality.
+    active_set:
+        Indices of the inequality rows active at the solution.
+    message:
+        Human-readable termination status.
+    """
 
     x: np.ndarray
     objective: float
@@ -125,6 +141,63 @@ class QPResult:
     converged: bool
     active_set: list[int] = field(default_factory=list)
     message: str = ""
+
+
+@dataclass
+class BatchQPResult:
+    """Result of a stacked multi-RHS solve over one QP family.
+
+    One row per problem: all problems share the workspace's Hessian and
+    constraint rows and differ only in their linear term.  Rows whose shared
+    working-set solution passed the batched KKT verification carry
+    ``iterations == 0`` and ``fallback == False``; the remaining rows were
+    handed to the per-problem active-set loop.
+
+    Attributes
+    ----------
+    x:
+        Solutions, shape ``(num_problems, n)`` (one row per problem).
+    objectives:
+        Objective values ``0.5 x^T H x + g^T x`` per row.
+    iterations:
+        Active-set iterations per row (zero for batch-verified rows).
+    converged:
+        Per-row convergence flags.
+    active_sets:
+        Per-row active inequality-row indices at the solution.
+    fallback:
+        Boolean mask of the rows solved by the per-problem active-set loop
+        instead of the shared multi-RHS factorization path.
+    """
+
+    x: np.ndarray
+    objectives: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    active_sets: list[list[int]]
+    fallback: np.ndarray
+
+    @property
+    def num_problems(self) -> int:
+        """Number of stacked problems (rows)."""
+        return int(self.x.shape[0])
+
+    @property
+    def num_fallback(self) -> int:
+        """Number of rows that required the per-problem active-set loop."""
+        return int(np.count_nonzero(self.fallback))
+
+    def result(self, index: int) -> QPResult:
+        """Package one row as a standalone :class:`QPResult`."""
+        index = int(index)
+        return QPResult(
+            x=self.x[index],
+            objective=float(self.objectives[index]),
+            iterations=int(self.iterations[index]),
+            converged=bool(self.converged[index]),
+            active_set=list(self.active_sets[index]),
+            message="optimal" if self.converged[index] else "not converged",
+        )
 
 
 def _cholesky_with_jitter(hessian: np.ndarray) -> np.ndarray:
@@ -212,10 +285,14 @@ class QPWorkspace:
         self._k = 0
         # Factorize the (never-changing) equality columns once; resets then
         # just copy this snapshot instead of re-orthogonalising per solve.
+        # The indices of the rows actually factored are kept so batched
+        # solves can assemble the matching right-hand side.
+        self._eq_kept: list[int] = []
         for j in range(self.num_eq):
             # Degenerate equality rows are skipped: the dependent row is
             # implied by the others.
-            self._append_column(self._eq_columns[:, j])
+            if self._append_column(self._eq_columns[:, j]):
+                self._eq_kept.append(j)
         self._q0 = self._q.copy()
         self._r0 = self._r.copy()
         self._k0 = self._k
@@ -360,6 +437,12 @@ class QPWorkspace:
             verbatim.
         max_iterations, tol:
             Iteration cap and numerical tolerance of the active-set loop.
+
+        Returns
+        -------
+        QPResult
+            The solve outcome; ``active_set`` lists the inequality rows
+            active at the solution (the warm start for a related solve).
         """
         n = self.num_variables
         if gradient is None:
@@ -518,6 +601,292 @@ class QPWorkspace:
             message="maximum iterations reached",
         )
 
+    # ------------------------------------------------------------------
+    # Stacked multi-RHS solve.
+    # ------------------------------------------------------------------
+
+    def solve_batch(
+        self,
+        gradients: np.ndarray,
+        *,
+        shared_active_set: Optional[Sequence[int]] = None,
+        max_iterations: int = 500,
+        tol: float = 1e-9,
+    ) -> BatchQPResult:
+        """Solve a whole family of linear terms against the shared factorization.
+
+        All problems share this workspace's Hessian and constraint rows.  The
+        batch path factors the working set **once** — the equality rows plus
+        any ``shared_active_set`` inequality rows — and solves every row's
+        working-set KKT system in single multi-RHS LAPACK calls (two
+        triangular solves against the Cholesky factor, two dense products
+        against the working-set QR).  Each candidate solution is then KKT
+        verified in one vectorized pass: primal feasibility of every
+        inequality row and non-negativity of the working-set multipliers.
+        Rows that pass are exact constrained optima; only the rows where a
+        *different* set of positivity constraints binds fall back to the
+        per-problem active-set loop (warm-started from the shared set).
+
+        Parameters
+        ----------
+        gradients:
+            Stacked linear terms, shape ``(num_problems, n)`` — one row per
+            problem.
+        shared_active_set:
+            Inequality rows expected to be active for most rows (e.g. the
+            active set of a base fit whose bootstrap replicates are being
+            solved).  Out-of-range, duplicate and linearly dependent indices
+            are silently dropped.
+        max_iterations, tol:
+            Passed to the fallback active-set solves; ``tol`` also bounds the
+            primal/dual verification of the batched solutions.
+
+        Notes
+        -----
+        The batch is **adaptive**: rows rejected by the verification are
+        solved one at a time (each warm-started from the previous fallback
+        solution), and every newly discovered active set is immediately
+        re-tried against *all* still-pending rows in another stacked pass.
+        A family whose members share a handful of distinct active sets
+        therefore costs one exact solve plus one multi-RHS pass per distinct
+        set, not one active-set loop per row.
+
+        Returns
+        -------
+        BatchQPResult
+            Stacked solutions plus per-row convergence metadata.
+        """
+        gradients = np.asarray(gradients, dtype=float)
+        if gradients.ndim != 2 or gradients.shape[1] != self.num_variables:
+            raise ValueError(
+                "gradients must have shape (num_problems, num_variables)"
+            )
+        num_problems = gradients.shape[0]
+        n = self.num_variables
+        solutions = np.zeros((num_problems, n))
+        iterations = np.zeros(num_problems, dtype=int)
+        converged = np.ones(num_problems, dtype=bool)
+        active_sets: list[list[int]] = [[] for _ in range(num_problems)]
+        fallback = np.zeros(num_problems, dtype=bool)
+
+        guess: list[int] = []
+        if shared_active_set:
+            seen: set[int] = set()
+            for index in shared_active_set:
+                index = int(index)
+                if 0 <= index < self.num_ineq and index not in seen:
+                    seen.add(index)
+                    guess.append(index)
+
+        remaining = list(range(num_problems))
+        tried: set[tuple[int, ...]] = set()
+        warm_candidates: dict[int, np.ndarray] = {}
+        last_result: Optional[QPResult] = None
+        while remaining:
+            key = tuple(sorted(guess))
+            if key not in tried:
+                tried.add(key)
+                rows = np.asarray(remaining, dtype=int)
+                working, candidates, accepted, primal_ok = self._try_working_set(
+                    gradients[rows], guess, tol
+                )
+                working_sorted = sorted(working)
+                still_pending: list[int] = []
+                for position, row in enumerate(rows):
+                    if accepted[position]:
+                        solutions[row] = candidates[position]
+                        active_sets[row] = list(working_sorted)
+                    else:
+                        if primal_ok[position]:
+                            warm_candidates[row] = candidates[position]
+                        still_pending.append(int(row))
+                remaining = still_pending
+                if not remaining:
+                    break
+            # Exact active-set solve of one pending row, warm-started from
+            # the previous fallback solution (feasibility is shared by the
+            # whole family) or this row's primal-feasible batch candidate.
+            row = remaining.pop(0)
+            fallback[row] = True
+            if last_result is not None:
+                start: Optional[np.ndarray] = last_result.x
+                warm_set: Optional[Sequence[int]] = last_result.active_set
+            elif row in warm_candidates:
+                start = warm_candidates[row]
+                warm_set = guess
+            else:
+                start = None
+                warm_set = guess or None
+            try:
+                row_result = self.solve(
+                    gradients[row],
+                    x0=start,
+                    active_set=warm_set,
+                    max_iterations=max_iterations,
+                    tol=tol,
+                )
+            except ValueError:
+                converged[row] = False
+                continue
+            solutions[row] = row_result.x
+            iterations[row] = row_result.iterations
+            converged[row] = row_result.converged
+            active_sets[row] = list(row_result.active_set)
+            if row_result.converged:
+                last_result = row_result
+                guess = list(row_result.active_set)
+
+        hx = solutions @ self.hessian
+        objectives = 0.5 * np.einsum("bi,bi->b", solutions, hx)
+        objectives += np.einsum("bi,bi->b", gradients, solutions)
+        return BatchQPResult(
+            x=solutions,
+            objectives=objectives,
+            iterations=iterations,
+            converged=converged,
+            active_sets=active_sets,
+            fallback=fallback,
+        )
+
+    def _try_working_set(
+        self, gradients: np.ndarray, guess: Sequence[int], tol: float
+    ) -> tuple[list[int], np.ndarray, np.ndarray, np.ndarray]:
+        """One stacked working-set pass of :meth:`solve_batch`.
+
+        Factors the equality rows plus the ``guess`` inequality rows once
+        (incremental Householder appends on top of the equality snapshot),
+        solves every row's working-set KKT system in multi-RHS LAPACK calls,
+        and KKT-verifies all candidates in one vectorized pass.
+
+        Returns
+        -------
+        tuple
+            ``(working, candidates, accepted, primal_ok)``: the inequality
+            rows actually factored, the per-row candidate solutions, the
+            rows passing the full primal/dual verification, and the rows
+            that are at least primal feasible (usable as warm starts).
+        """
+        num_rows = gradients.shape[0]
+        self._reset_factorization()
+        working: list[int] = []
+        for index in guess:
+            if self._append_column(self._ineq_column(index)):
+                working.append(index)
+        k = self._k
+        trtrs = self._trtrs
+        lower = self.cholesky
+        # D = L^{-1} G^T for every row in one triangular multi-RHS solve.
+        transformed, _ = trtrs(
+            lower, np.asfortranarray(gradients.T), lower=1, trans=0
+        )
+        if k:
+            rhs = np.concatenate(
+                [
+                    self.eq_vector[self._eq_kept],
+                    self.ineq_vector[np.asarray(working, dtype=int)]
+                    if working
+                    else np.zeros(0),
+                ]
+            )
+            r_factor = np.ascontiguousarray(self._r[:k, :k])
+            # Range-space component: u with R^T u = rhs (the same for every
+            # row — the working-set right-hand side is measurement free).
+            particular, _ = trtrs(r_factor, rhs, lower=0, trans=1)
+            range_basis = self._q[:, :k]
+            null_basis = self._q[:, k:]
+            # y = Q1 u - Q2 (Q2^T d) per row, all rows at once.
+            y = -(null_basis @ (null_basis.T @ transformed))
+            y += (range_basis @ particular)[:, None]
+            # Working-set multipliers of every row (same convention as
+            # :meth:`solve`): R mu = -(u + Q1^T d), Lagrange multipliers of
+            # the active inequality rows are ``-mu``.
+            multipliers, _ = trtrs(
+                r_factor,
+                -(particular[:, None] + range_basis.T @ transformed),
+                lower=0,
+                trans=0,
+            )
+            lagrange = -multipliers[self._num_eq_factored:, :]
+        else:
+            y = -transformed
+            lagrange = np.zeros((0, num_rows))
+        x_columns, _ = trtrs(lower, y, lower=1, trans=1)
+        candidates = np.ascontiguousarray(x_columns.T)
+
+        # Batched KKT verification: primal feasibility of all inequality
+        # rows, dual feasibility (non-negative multipliers) of the working
+        # ones.  Rows passing both are exact constrained optima.
+        if self.num_ineq:
+            slack = self.ineq_matrix @ x_columns - self.ineq_vector[:, None]
+            margin = (tol * (1.0 + np.abs(self.ineq_vector)))[:, None]
+            primal_ok = np.all(slack >= -margin, axis=0)
+        else:
+            primal_ok = np.ones(num_rows, dtype=bool)
+        accepted = primal_ok.copy()
+        if lagrange.size:
+            accepted &= lagrange.min(axis=0) >= -tol
+        return working, candidates, accepted, primal_ok
+
+
+def kkt_solve_diagonal_batch(
+    diagonals: np.ndarray,
+    gradient: np.ndarray,
+    columns: np.ndarray,
+    rhs: np.ndarray,
+    num_equalities: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked working-set KKT solves for a family of diagonal Hessians.
+
+    Solves, for every row ``l`` of ``diagonals``, the equality-constrained
+    program ``min 0.5 x^T diag(d_l) x + q^T x`` subject to ``C x = b`` in one
+    batched (Schur-complement) linear-algebra pass: the unconstrained optima
+    are an elementwise divide, and the per-row corrections are one stacked
+    ``solve`` over the small ``(k, k)`` Schur systems.  This is the engine
+    behind the k-fold cross-validation fallback: in the per-fold eigenbasis
+    every candidate lambda's Hessian is diagonal, so all candidates sharing a
+    working set are solved in a single call.
+
+    Parameters
+    ----------
+    diagonals:
+        Hessian diagonals ``d_l``, shape ``(num_problems, n)`` (all entries
+        positive).
+    gradient:
+        Shared linear term ``q``, shape ``(n,)``.
+    columns:
+        Working-set constraint rows ``C``, shape ``(k, n)`` — equality rows
+        first, then the inequality rows pinned active.
+    rhs:
+        Right-hand side ``b``, shape ``(k,)``.
+    num_equalities:
+        Number of leading rows of ``columns`` that are true equalities.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        ``(x, ineq_multipliers)``: the solutions, shape
+        ``(num_problems, n)``, and the Lagrange multipliers of the pinned
+        inequality rows, shape ``(num_problems, k - num_equalities)`` —
+        non-negative multipliers mean the pinned rows are dual feasible for
+        ``C x >= b`` constraints.
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        If a Schur system is singular (linearly dependent working set).
+    """
+    diagonals = np.asarray(diagonals, dtype=float)
+    gradient = np.asarray(gradient, dtype=float)
+    unconstrained = -gradient[None, :] / diagonals
+    if columns.shape[0] == 0:
+        return unconstrained, np.zeros((diagonals.shape[0], 0))
+    scaled = columns[None, :, :] / diagonals[:, None, :]
+    schur = scaled @ columns.T
+    residual = rhs[None, :] - unconstrained @ columns.T
+    multipliers = np.linalg.solve(schur, residual[..., None])[..., 0]
+    solutions = unconstrained + np.einsum("lk,lkc->lc", multipliers, scaled)
+    return solutions, multipliers[:, int(num_equalities):]
+
 
 def solve_qp_active_set(
     problem: QuadraticProgram,
@@ -549,6 +918,12 @@ def solve_qp_active_set(
         Iteration cap for the active-set loop.
     tol:
         Numerical tolerance used for step, feasibility and multiplier tests.
+
+    Returns
+    -------
+    QPResult
+        The solve outcome (solution, objective, active set, convergence
+        metadata).
     """
     if workspace is None or not workspace.matches(problem):
         try:
@@ -628,6 +1003,22 @@ def solve_qp(
     SciPy if it fails to converge or returns an infeasible point.  The
     ``active_set`` warm start and the shared ``workspace`` apply to the
     active-set backend only.
+
+    Parameters
+    ----------
+    problem:
+        Problem data (see :class:`QuadraticProgram`).
+    x0:
+        Optional feasible starting point.
+    backend:
+        One of ``"auto"``, ``"active_set"``, ``"scipy"``.
+    active_set, workspace, max_iterations, tol:
+        Passed through to :func:`solve_qp_active_set`.
+
+    Returns
+    -------
+    QPResult
+        The best result of the attempted backend(s).
     """
     if backend == "active_set":
         return solve_qp_active_set(

@@ -91,3 +91,65 @@ class TestBootstrapOptions:
             bootstrap_deconvolution(
                 deconvolver, small_kernel.times, values, sigma=sigma, coverage=1.5
             )
+        with pytest.raises(ValueError):
+            bootstrap_deconvolution(
+                deconvolver, small_kernel.times, values, sigma=sigma, engine="warp"
+            )
+
+
+class TestBootstrapEngines:
+    @pytest.mark.parametrize("parametric", [True, False])
+    def test_batch_equals_serial_replicates(
+        self, small_kernel, paper_parameters, noisy_data, parametric
+    ):
+        """Batch and serial engines resample identical data sets and agree.
+
+        Both engines draw the replicate noise in the same generator order, so
+        the synthetic measurement matrices are identical; the stacked
+        multi-RHS solve then matches the warm-started per-replicate solves to
+        solver precision.
+        """
+        _, values, sigma = noisy_data
+        kwargs = dict(
+            sigma=sigma,
+            lam=1e-3,
+            num_replicates=12,
+            parametric=parametric,
+            num_phase_points=61,
+            rng=3,
+        )
+        batch = bootstrap_deconvolution(
+            Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10),
+            small_kernel.times,
+            values,
+            engine="batch",
+            **kwargs,
+        )
+        serial = bootstrap_deconvolution(
+            Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10),
+            small_kernel.times,
+            values,
+            engine="serial",
+            **kwargs,
+        )
+        np.testing.assert_allclose(batch.replicates, serial.replicates, atol=1e-10)
+        np.testing.assert_allclose(batch.lower, serial.lower, atol=1e-10)
+        np.testing.assert_allclose(batch.upper, serial.upper, atol=1e-10)
+
+    def test_auto_engine_is_batch(self, small_kernel, paper_parameters, noisy_data):
+        _, values, sigma = noisy_data
+        kwargs = dict(sigma=sigma, lam=1e-3, num_replicates=6, num_phase_points=41, rng=5)
+        auto = bootstrap_deconvolution(
+            Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10),
+            small_kernel.times,
+            values,
+            **kwargs,
+        )
+        batch = bootstrap_deconvolution(
+            Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10),
+            small_kernel.times,
+            values,
+            engine="batch",
+            **kwargs,
+        )
+        np.testing.assert_array_equal(auto.replicates, batch.replicates)

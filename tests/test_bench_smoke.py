@@ -8,6 +8,7 @@ of the full-size benchmark.
 
 import copy
 import json
+import pathlib
 
 import pytest
 
@@ -25,6 +26,7 @@ EXPECTED_STAGES = {
     "problem_assembly_cold",
     "qp_solve",
     "qp_solve_warm",
+    "qp_solve_batch",
     "lambda_gcv",
     "lambda_kfold",
     "bootstrap",
@@ -70,53 +72,74 @@ def test_report_formats(smoke_report):
 
 
 class TestCompareReports:
+    """Baseline comparisons always carry the per-stage diff table.
+
+    Every assertion on the ``ok`` flag passes the formatted ``table`` as the
+    assertion message, so a failing comparison prints the same readable
+    per-stage diff the CI bench gate prints instead of a bare boolean.
+    """
+
     def test_identical_reports_pass(self, smoke_report):
         ok, table = compare_reports(smoke_report, smoke_report, tolerance=3.0)
-        assert ok
+        assert ok, f"unexpected regression in identical reports:\n{table}"
         assert "REGRESSION" not in table
 
     def test_regression_detected_with_readable_diff(self, smoke_report):
         baseline = copy.deepcopy(smoke_report)
         baseline["stages_seconds"]["qp_solve"] /= 10.0
         ok, table = compare_reports(smoke_report, baseline, tolerance=3.0, min_seconds=0.0)
-        assert not ok
+        assert not ok, f"regression not detected:\n{table}"
         regression_lines = [line for line in table.splitlines() if "REGRESSION" in line]
-        assert len(regression_lines) == 1
-        assert regression_lines[0].startswith("qp_solve")
+        assert len(regression_lines) == 1, table
+        assert regression_lines[0].startswith("qp_solve"), table
 
     def test_floor_shields_microsecond_stages(self, smoke_report):
         """A micro-stage over the ratio but under the absolute floor passes."""
         baseline = copy.deepcopy(smoke_report)
         baseline["stages_seconds"]["qp_solve"] = 1e-9
         ok, table = compare_reports(smoke_report, baseline, tolerance=3.0, min_seconds=1.0)
-        assert ok
-        assert "ok (below floor)" in table
+        assert ok, f"floor did not shield the micro-stage:\n{table}"
+        assert "ok (below floor)" in table, table
 
     def test_stage_missing_from_baseline_is_ignored(self, smoke_report):
         baseline = copy.deepcopy(smoke_report)
         del baseline["stages_seconds"]["fit_many_kfold"]
         ok, table = compare_reports(smoke_report, baseline, tolerance=3.0)
-        assert ok
-        assert "missing in baseline (ignored)" in table
+        assert ok, f"new stage tripped the gate:\n{table}"
+        assert "missing in baseline (ignored)" in table, table
 
     def test_stage_missing_from_current_run_fails(self, smoke_report):
         """A stage silently dropping out of the benchmark is a regression."""
         baseline = copy.deepcopy(smoke_report)
         baseline["stages_seconds"]["retired_stage"] = 1.0
         ok, table = compare_reports(smoke_report, baseline, tolerance=3.0)
-        assert not ok
-        assert "missing from current run" in table
+        assert not ok, f"dropped stage not flagged:\n{table}"
+        assert "missing from current run" in table, table
 
     def test_config_mismatch_noted(self, smoke_report):
         baseline = copy.deepcopy(smoke_report)
         baseline["config"]["num_cells"] = 1
         ok, table = compare_reports(smoke_report, baseline, tolerance=3.0)
-        assert ok
-        assert "config differs" in table
+        assert ok, f"config mismatch failed the gate:\n{table}"
+        assert "config differs" in table, table
 
     def test_tolerance_must_exceed_one(self, smoke_report):
         with pytest.raises(ValueError):
             compare_reports(smoke_report, smoke_report, tolerance=1.0)
+
+
+def test_committed_baseline_covers_all_stages(smoke_report):
+    """The committed baseline's stages all still exist in the harness.
+
+    Runs the same comparison as the CI bench gate with an effectively
+    infinite tolerance, so only coverage losses (a stage present in
+    ``BENCH_solvepath.json`` but gone from the benchmark) fail — and the
+    failure message is the gate's own per-stage diff table.
+    """
+    baseline_path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_solvepath.json"
+    baseline = json.loads(baseline_path.read_text())
+    ok, table = compare_reports(smoke_report, baseline, tolerance=1e12)
+    assert ok, f"stage coverage regressed vs the committed baseline:\n{table}"
 
 
 def test_cli_compare_gate_round_trip(smoke_report, tmp_path, capsys):
