@@ -36,6 +36,7 @@ from repro.core import (
     Deconvolver,
     DeconvolutionProblem,
     DeconvolutionResult,
+    FitSession,
     ForwardModel,
     PositivityConstraint,
     RNAConservationConstraint,
@@ -82,6 +83,7 @@ __all__ = [
     "Deconvolver",
     "DeconvolutionProblem",
     "DeconvolutionResult",
+    "FitSession",
     "ForwardModel",
     "PositivityConstraint",
     "RNAConservationConstraint",

@@ -3,13 +3,16 @@
 Usage::
 
     python -m repro.cli figure2 [--noise 0.1] [--cells 8000] [--seed 42]
+    python -m repro.cli figure3 [--realisations 3] [--cells 8000] [--seed 7]
     python -m repro.cli figure4
     python -m repro.cli figure5 [--output profile.csv]
     python -m repro.cli sensitivity
+    python -m repro.cli ablations [--study volume|constraints|lambda|all]
 
-Each sub-command runs the corresponding experiment driver and prints the
-series / metrics that the paper figure reports.  ``figure5`` can additionally
-write the deconvolved profile to CSV.
+Each sub-command runs the corresponding experiment driver — all of which
+route their fits through the experiment-scoped ``FitSession`` layer — and
+prints the series / metrics that the paper figure reports.  ``figure5`` can
+additionally write the deconvolved profile to CSV.
 """
 
 from __future__ import annotations
@@ -22,7 +25,13 @@ import numpy as np
 from repro.cellcycle.celltypes import CellType
 from repro.data.io import save_profile_csv
 from repro.data.timeseries import PhaseProfile
+from repro.experiments.ablations import (
+    run_constraint_ablation,
+    run_lambda_ablation,
+    run_volume_model_ablation,
+)
 from repro.experiments.figure2 import run_oscillator_experiment
+from repro.experiments.figure3 import run_noisy_oscillator_experiment
 from repro.experiments.figure4 import run_celltype_experiment
 from repro.experiments.figure5 import run_ftsz_experiment
 from repro.experiments.reporting import format_series, format_table
@@ -43,6 +52,14 @@ def _build_parser() -> argparse.ArgumentParser:
     oscillator.add_argument("--seed", type=int, default=42, help="random seed")
     oscillator.add_argument("--plot", action="store_true", help="also print an ASCII plot")
 
+    noisy = subparsers.add_parser(
+        "figure3", help="noisy oscillator deconvolution, aggregated over noise realisations"
+    )
+    noisy.add_argument("--noise", type=float, default=0.10, help="noise fraction")
+    noisy.add_argument("--realisations", type=int, default=3, help="independent noise realisations")
+    noisy.add_argument("--cells", type=int, default=8000, help="Monte-Carlo founder cells")
+    noisy.add_argument("--seed", type=int, default=7, help="random seed")
+
     subparsers.add_parser("figure4", help="cell-type distribution vs reference")
 
     ftsz = subparsers.add_parser("figure5", help="ftsZ population vs deconvolved expression")
@@ -55,6 +72,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sensitivity.add_argument("--cells", type=int, default=4000, help="Monte-Carlo founder cells")
     sensitivity.add_argument("--seed", type=int, default=17, help="random seed")
+
+    ablations = subparsers.add_parser(
+        "ablations", help="volume-model / constraint / lambda ablation studies"
+    )
+    ablations.add_argument(
+        "--study",
+        choices=["volume", "constraints", "lambda", "all"],
+        default="all",
+        help="which ablation study to run",
+    )
+    ablations.add_argument("--cells", type=int, default=6000, help="Monte-Carlo founder cells")
+    ablations.add_argument("--seed", type=int, default=5, help="random seed")
     return parser
 
 
@@ -81,6 +110,51 @@ def _run_figure2(args: argparse.Namespace) -> int:
         [[name, comp.nrmse, comp.improvement_factor, comp.correlation]
          for name, comp in result.comparisons.items()],
     ))
+    return 0
+
+
+def _run_figure3(args: argparse.Namespace) -> int:
+    summary = run_noisy_oscillator_experiment(
+        noise_fraction=args.noise,
+        num_realisations=args.realisations,
+        rng=args.seed,
+        num_cells=args.cells,
+    )
+    example = summary.example
+    for name, comp in example.comparisons.items():
+        print(format_series(f"{name} population (noisy)", example.times,
+                            example.population[name],
+                            x_label="minutes", y_label="concentration"))
+    print(format_table(
+        ["species", "mean NRMSE", "mean improvement"],
+        [[name, summary.mean_nrmse[name], summary.mean_improvement[name]]
+         for name in sorted(summary.mean_nrmse)],
+    ))
+    print(f"aggregated over {summary.num_realisations} noise realisation(s) "
+          f"at {example.noise_fraction:.0%} noise")
+    return 0
+
+
+def _run_ablations(args: argparse.Namespace) -> int:
+    if args.study in ("volume", "all"):
+        scores = run_volume_model_ablation(num_cells=args.cells, rng=args.seed)
+        print(format_table(
+            ["volume model", "deconvolution NRMSE"],
+            [[name, value] for name, value in scores.items()],
+        ))
+    if args.study in ("constraints", "all"):
+        constraint_scores = run_constraint_ablation(num_cells=args.cells, rng=args.seed + 1)
+        print(format_table(
+            ["constraint stack", "NRMSE", "negativity"],
+            [[name, entry["nrmse"], entry["negativity"]]
+             for name, entry in constraint_scores.items()],
+        ))
+    if args.study in ("lambda", "all"):
+        lambda_scores = run_lambda_ablation(num_cells=args.cells, rng=args.seed + 2)
+        print(format_table(
+            ["smoothing", "deconvolution NRMSE"],
+            [[name, value] for name, value in lambda_scores.items()],
+        ))
     return 0
 
 
@@ -129,9 +203,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "figure2": _run_figure2,
+        "figure3": _run_figure3,
         "figure4": _run_figure4,
         "figure5": _run_figure5,
         "sensitivity": _run_sensitivity,
+        "ablations": _run_ablations,
     }
     with np.printoptions(precision=4, suppress=True):
         return handlers[args.command](args)

@@ -13,15 +13,18 @@ cross-validation or GCV (:mod:`repro.core.lambda_selection`).
 from repro.core.basis import SplineBasis
 from repro.core.forward import ForwardModel, convolve_profile
 from repro.core.constraints import (
+    AssemblyContext,
     ConstraintSet,
     PositivityConstraint,
     RNAConservationConstraint,
     RateContinuityConstraint,
+    assembly_context,
     default_constraints,
 )
 from repro.core.problem import DeconvolutionProblem
 from repro.core.result import DeconvolutionResult
 from repro.core.deconvolver import Deconvolver
+from repro.core.session import FitSession, FitWorkspace
 from repro.core.lambda_selection import (
     LambdaSelectionResult,
     generalized_cross_validation,
@@ -36,6 +39,10 @@ __all__ = [
     "SplineBasis",
     "ForwardModel",
     "convolve_profile",
+    "AssemblyContext",
+    "assembly_context",
+    "FitSession",
+    "FitWorkspace",
     "ConstraintSet",
     "PositivityConstraint",
     "RNAConservationConstraint",

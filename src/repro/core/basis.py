@@ -10,10 +10,28 @@ values of the profile.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.numerics.interpolation import NaturalCubicSpline
 from repro.utils.validation import check_sorted, ensure_1d
+
+# Expensive per-knot-vector tables memoised by knot fingerprint: every fresh
+# ``SplineBasis`` over the same knots — one per Deconvolver in a sweep, one
+# per session in an experiment — reuses the roughness (penalty) Gram matrix
+# and the stacked cardinal-spline second-derivative table instead of
+# re-deriving them spline by spline.  The arrays are documented read-only;
+# small LRUs bound pathological knot sweeps.
+_PENALTY_CACHE: OrderedDict[bytes, np.ndarray] = OrderedDict()
+_SECOND_DERIVATIVE_CACHE: OrderedDict[bytes, np.ndarray] = OrderedDict()
+_PENALTY_CACHE_SIZE = 16
+
+
+def clear_penalty_cache() -> None:
+    """Drop the memoised basis tables (benchmarking and tests)."""
+    _PENALTY_CACHE.clear()
+    _SECOND_DERIVATIVE_CACHE.clear()
 
 
 class SplineBasis:
@@ -40,17 +58,41 @@ class SplineBasis:
             self.knots = np.linspace(0.0, 1.0, num_basis)
         if self.knots.size < 4:
             raise ValueError("the basis needs at least four knots")
-        self._splines = [
-            NaturalCubicSpline(self.knots, np.eye(self.knots.size)[i])
-            for i in range(self.knots.size)
-        ]
+        self._splines_cache: list[NaturalCubicSpline] | None = None
         self._penalty: np.ndarray | None = None
         # Stacked cardinal-spline data for one-pass basis evaluation: knot
-        # values (the identity) and per-spline knot second derivatives.
+        # values (the identity) and per-spline knot second derivatives.  The
+        # second-derivative table costs one tridiagonal solve per basis
+        # function, so bases sharing a knot fingerprint share it through the
+        # module-level memo.
         self._knot_values = np.eye(self.knots.size)
-        self._knot_second_derivatives = np.column_stack(
-            [spline.second_derivatives for spline in self._splines]
-        )
+        key = self.fingerprint
+        table = _SECOND_DERIVATIVE_CACHE.get(key)
+        if table is None:
+            table = np.column_stack(
+                [spline.second_derivatives for spline in self._splines]
+            )
+            _SECOND_DERIVATIVE_CACHE[key] = table
+            while len(_SECOND_DERIVATIVE_CACHE) > _PENALTY_CACHE_SIZE:
+                _SECOND_DERIVATIVE_CACHE.popitem(last=False)
+        else:
+            _SECOND_DERIVATIVE_CACHE.move_to_end(key)
+        self._knot_second_derivatives = table
+
+    @property
+    def _splines(self) -> list[NaturalCubicSpline]:
+        """Per-basis-function cardinal splines, built on first use.
+
+        Only the exact penalty integral (:meth:`penalty_matrix` on a cache
+        miss) needs the spline objects themselves; evaluation runs off the
+        stacked knot tables.
+        """
+        if self._splines_cache is None:
+            self._splines_cache = [
+                NaturalCubicSpline(self.knots, np.eye(self.knots.size)[i])
+                for i in range(self.knots.size)
+            ]
+        return self._splines_cache
 
     def _locate(self, phases: np.ndarray) -> np.ndarray:
         """Knot-interval index of each phase (clamped, end pieces extrapolate)."""
@@ -61,6 +103,16 @@ class SplineBasis:
     def num_basis(self) -> int:
         """Number of basis functions."""
         return int(self.knots.size)
+
+    @property
+    def fingerprint(self) -> bytes:
+        """Hashable identity of the basis: the raw bytes of its knot vector.
+
+        Two bases with bit-identical knots produce identical evaluation and
+        penalty matrices, so the fingerprint keys every cross-instance memo
+        (penalty Gram, assembly contexts, session grids).
+        """
+        return np.ascontiguousarray(self.knots).tobytes()
 
     def evaluate(self, phases: np.ndarray) -> np.ndarray:
         """Basis matrix ``B[j, i] = psi_i(phases[j])``.
@@ -119,17 +171,27 @@ class SplineBasis:
         The integral is evaluated exactly (the second derivatives are
         piecewise linear), so the matrix is symmetric positive semi-definite
         with the constant and linear functions in its null space.  The matrix
-        is computed once per basis and cached; treat it as read-only.
+        is computed once per *knot vector* — bases sharing a fingerprint
+        share the assembled matrix through a module-level memo — and cached;
+        treat it as read-only.
         """
         if self._penalty is not None:
             return self._penalty
-        n = self.num_basis
-        omega = np.zeros((n, n))
-        for i in range(n):
-            for j in range(i, n):
-                value = self._splines[i].roughness_cross(self._splines[j])
-                omega[i, j] = value
-                omega[j, i] = value
+        key = self.fingerprint
+        omega = _PENALTY_CACHE.get(key)
+        if omega is None:
+            n = self.num_basis
+            omega = np.zeros((n, n))
+            for i in range(n):
+                for j in range(i, n):
+                    value = self._splines[i].roughness_cross(self._splines[j])
+                    omega[i, j] = value
+                    omega[j, i] = value
+            _PENALTY_CACHE[key] = omega
+            while len(_PENALTY_CACHE) > _PENALTY_CACHE_SIZE:
+                _PENALTY_CACHE.popitem(last=False)
+        else:
+            _PENALTY_CACHE.move_to_end(key)
         self._penalty = omega
         return omega
 

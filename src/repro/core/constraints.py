@@ -19,17 +19,25 @@ The paper imposes three kinds of constraints on ``f_alpha`` (Secs. 2.3 and
 Each constraint object converts itself into rows of a linear equality or
 inequality system over ``alpha``; :class:`ConstraintSet` collects those rows
 so the deconvolution problem can toggle constraints for ablation studies.
+
+All constraints draw their evaluation tables from a shared
+:class:`AssemblyContext`: the dense phase grid, Simpson weights, transition
+density and the basis/derivative matrices are computed **once per assembly**
+(instead of once per constraint) and memoised across assemblies of the same
+``(basis, parameters)`` configuration, so re-assembling a problem for a new
+experiment grid costs table lookups instead of quadrature.
 """
 
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.cellcycle.parameters import CellCycleParameters
-from repro.core.basis import SplineBasis
+from repro.core.basis import SplineBasis, clear_penalty_cache
 from repro.numerics.quadrature import simpson_weights
 from repro.utils.gridding import phase_grid
 
@@ -95,6 +103,155 @@ class ConstraintSet:
         return {"equality": eq_violation, "inequality": ineq_violation, "tolerance": tol}
 
 
+class AssemblyContext:
+    """Shared evaluation tables for assembling one constraint stack.
+
+    One context is built per ``(basis, parameters)`` pair and handed to every
+    constraint, so the dense phase grid, Simpson weights, transition density
+    and the basis/derivative matrices are evaluated once per assembly instead
+    of once per constraint.  All tables are keyed by grid size and built
+    lazily, so a context only ever holds what its constraints asked for.
+
+    Contexts themselves are memoised at module level (see
+    :func:`assembly_context`), which makes *re*-assembly of an
+    already-seen configuration — a fresh problem on a new measurement grid of
+    the same experiment — a set of dictionary hits.
+
+    Parameters
+    ----------
+    basis:
+        Spline basis whose rows the constraints are expressed over.
+    parameters:
+        Cell-cycle parameters supplying the transition density and ``beta``.
+    """
+
+    def __init__(self, basis: SplineBasis, parameters: CellCycleParameters) -> None:
+        self.basis = basis
+        self.parameters = parameters
+        self._basis_values: dict[int, np.ndarray] = {}
+        self._basis_derivatives: dict[int, np.ndarray] = {}
+        self._quadratures: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._beta_tables: dict[int, tuple[np.ndarray, float]] = {}
+        self._endpoint_values: tuple[np.ndarray, np.ndarray] | None = None
+        self._endpoint_derivatives: tuple[np.ndarray, np.ndarray] | None = None
+
+    def basis_values(self, grid_size: int) -> np.ndarray:
+        """Basis matrix on ``phase_grid(grid_size)`` (cached per size)."""
+        table = self._basis_values.get(grid_size)
+        if table is None:
+            table = self.basis.evaluate(phase_grid(grid_size))
+            self._basis_values[grid_size] = table
+        return table
+
+    def basis_derivatives(self, grid_size: int) -> np.ndarray:
+        """First-derivative basis matrix on ``phase_grid(grid_size)`` (cached)."""
+        table = self._basis_derivatives.get(grid_size)
+        if table is None:
+            table = self.basis.evaluate_derivative(phase_grid(grid_size))
+            self._basis_derivatives[grid_size] = table
+        return table
+
+    @property
+    def endpoint_values(self) -> tuple[np.ndarray, np.ndarray]:
+        """Basis rows at the cycle endpoints, ``(psi(0), psi(1))``."""
+        if self._endpoint_values is None:
+            rows = self.basis.evaluate(np.array([0.0, 1.0]))
+            self._endpoint_values = (rows[0], rows[1])
+        return self._endpoint_values
+
+    @property
+    def endpoint_derivatives(self) -> tuple[np.ndarray, np.ndarray]:
+        """Derivative basis rows at the endpoints, ``(psi'(0), psi'(1))``."""
+        if self._endpoint_derivatives is None:
+            rows = self.basis.evaluate_derivative(np.array([0.0, 1.0]))
+            self._endpoint_derivatives = (rows[0], rows[1])
+        return self._endpoint_derivatives
+
+    def density_quadrature(
+        self, grid_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense grid, Simpson weights and normalised transition density.
+
+        The truncated Gaussian is renormalised on ``[0, 1]`` so the constraint
+        weights integrate the density to exactly one.
+        """
+        table = self._quadratures.get(grid_size)
+        if table is None:
+            grid = phase_grid(grid_size)
+            weights = simpson_weights(grid)
+            density = np.asarray(
+                self.parameters.transition_phase_density(grid), dtype=float
+            )
+            density = density / float(weights @ density)
+            table = (grid, weights, density)
+            self._quadratures[grid_size] = table
+        return table
+
+    def beta_quadrature(self, grid_size: int) -> tuple[np.ndarray, float]:
+        """Masked ``beta * p`` values and their integral ``beta0`` (cached).
+
+        ``beta(phi) = 0.4 / (1 - phi)`` diverges at ``phi = 1``, where the
+        transition density has long since vanished; the product is evaluated
+        with the zero-density points and the endpoint masked so the
+        divergence never enters the constraint row.
+        """
+        table = self._beta_tables.get(grid_size)
+        if table is None:
+            grid, weights, density = self.density_quadrature(grid_size)
+            usable = (density > 0.0) & (grid < 1.0 - 1e-9)
+            beta_density = np.zeros_like(density)
+            beta_density[usable] = (
+                np.asarray(self.parameters.beta(grid[usable]), dtype=float)
+                * density[usable]
+            )
+            table = (beta_density, float(weights @ beta_density))
+            self._beta_tables[grid_size] = table
+        return table
+
+
+# Memoised contexts keyed by basis/parameter fingerprints: assemblies of the
+# same configuration — fresh problems across the grids of one experiment —
+# share one context.  Smallish LRU so pathological sweeps cannot grow it
+# without bound.
+_CONTEXT_CACHE: OrderedDict[tuple, AssemblyContext] = OrderedDict()
+_CONTEXT_CACHE_SIZE = 8
+
+
+def assembly_context(
+    basis: SplineBasis, parameters: CellCycleParameters
+) -> AssemblyContext:
+    """Shared (memoised) :class:`AssemblyContext` for a configuration.
+
+    Keyed by the basis knot fingerprint and the parameter values (plus the
+    concrete parameter type, so subclasses overriding the density or ``beta``
+    never collide with the base class).  Unhashable parameter objects fall
+    back to an uncached context.
+    """
+    try:
+        key = (basis.fingerprint, type(parameters), parameters)
+        context = _CONTEXT_CACHE.get(key)
+    except TypeError:
+        return AssemblyContext(basis, parameters)
+    if context is None:
+        context = AssemblyContext(basis, parameters)
+        _CONTEXT_CACHE[key] = context
+        while len(_CONTEXT_CACHE) > _CONTEXT_CACHE_SIZE:
+            _CONTEXT_CACHE.popitem(last=False)
+    else:
+        _CONTEXT_CACHE.move_to_end(key)
+    return context
+
+
+def clear_assembly_caches() -> None:
+    """Drop every module-level assembly memo (contexts and penalty matrices).
+
+    Used by the benchmark's genuinely-cold assembly stage and by tests; the
+    caches refill transparently on the next assembly.
+    """
+    _CONTEXT_CACHE.clear()
+    clear_penalty_cache()
+
+
 class Constraint(abc.ABC):
     """Interface of a linear constraint contributor."""
 
@@ -108,6 +265,17 @@ class Constraint(abc.ABC):
         parameters: CellCycleParameters,
     ) -> None:
         """Append this constraint's rows to ``constraint_set``."""
+
+    def apply_with_context(
+        self, constraint_set: ConstraintSet, context: AssemblyContext
+    ) -> None:
+        """Append rows using a shared :class:`AssemblyContext`.
+
+        The default delegates to :meth:`apply`, so third-party constraints
+        written against the ``(basis, parameters)`` signature keep working;
+        the built-in constraints override this with the table-sharing path.
+        """
+        self.apply(constraint_set, context.basis, context.parameters)
 
 
 class PositivityConstraint(Constraint):
@@ -134,23 +302,14 @@ class PositivityConstraint(Constraint):
         parameters: CellCycleParameters,
     ) -> None:
         """Append one ``f_alpha(phi_j) >= 0`` row per grid phase."""
-        grid = phase_grid(self.grid_size)
-        rows = basis.evaluate(grid)
-        constraint_set.add_inequalities(rows, np.zeros(grid.size), self.name)
+        self.apply_with_context(constraint_set, assembly_context(basis, parameters))
 
-
-def _density_quadrature(
-    parameters: CellCycleParameters, grid_size: int = 2001
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Dense grid, Simpson weights and transition-phase density values."""
-    grid = phase_grid(grid_size)
-    weights = simpson_weights(grid)
-    density = np.asarray(parameters.transition_phase_density(grid), dtype=float)
-    # Renormalise the truncated Gaussian on [0, 1] so the constraint weights
-    # integrate the density to exactly one.
-    mass = float(weights @ density)
-    density = density / mass
-    return grid, weights, density
+    def apply_with_context(
+        self, constraint_set: ConstraintSet, context: AssemblyContext
+    ) -> None:
+        """Append the positivity rows from the context's cached basis table."""
+        rows = context.basis_values(self.grid_size)
+        constraint_set.add_inequalities(rows, np.zeros(rows.shape[0]), self.name)
 
 
 class RNAConservationConstraint(Constraint):
@@ -171,10 +330,16 @@ class RNAConservationConstraint(Constraint):
         parameters: CellCycleParameters,
     ) -> None:
         """Append the conservation equality row (eq. 7) over the basis."""
-        grid, weights, density = _density_quadrature(parameters, self.quadrature_size)
-        basis_at_one = basis.evaluate(np.array([1.0]))[0]
-        basis_at_zero = basis.evaluate(np.array([0.0]))[0]
-        density_integral = (weights * density) @ basis.evaluate(grid)
+        self.apply_with_context(constraint_set, assembly_context(basis, parameters))
+
+    def apply_with_context(
+        self, constraint_set: ConstraintSet, context: AssemblyContext
+    ) -> None:
+        """Append the conservation row from the context's cached tables."""
+        parameters = context.parameters
+        _, weights, density = context.density_quadrature(self.quadrature_size)
+        basis_at_zero, basis_at_one = context.endpoint_values
+        density_integral = (weights * density) @ context.basis_values(self.quadrature_size)
         row = (
             basis_at_one
             - parameters.swarmer_volume_fraction * basis_at_zero
@@ -202,26 +367,22 @@ class RateContinuityConstraint(Constraint):
         parameters: CellCycleParameters,
     ) -> None:
         """Append the rate-continuity equality row (eq. 17) over the basis."""
-        grid, weights, density = _density_quadrature(parameters, self.quadrature_size)
-        # beta(phi) = 0.4 / (1 - phi) diverges at phi = 1, where the transition
-        # density has long since vanished; evaluate the product beta * p with
-        # the zero-density points masked so the divergence never enters.
-        # beta(phi) = 0.4 / (1 - phi) diverges at phi = 1, where the transition
-        # density is (numerically) negligible; evaluate the product beta * p
-        # only away from that endpoint so no infinities enter the row.
-        usable = (density > 0.0) & (grid < 1.0 - 1e-9)
-        beta_density = np.zeros_like(density)
-        beta_density[usable] = (
-            np.asarray(parameters.beta(grid[usable]), dtype=float) * density[usable]
-        )
-        beta0 = float(weights @ beta_density)
+        self.apply_with_context(constraint_set, assembly_context(basis, parameters))
 
-        basis_at_one = basis.evaluate(np.array([1.0]))[0]
-        basis_at_zero = basis.evaluate(np.array([0.0]))[0]
-        deriv_at_one = basis.evaluate_derivative(np.array([1.0]))[0]
-        deriv_at_zero = basis.evaluate_derivative(np.array([0.0]))[0]
-        basis_on_grid = basis.evaluate(grid)
-        deriv_on_grid = basis.evaluate_derivative(grid)
+    def apply_with_context(
+        self, constraint_set: ConstraintSet, context: AssemblyContext
+    ) -> None:
+        """Append the rate-continuity row from the context's cached tables."""
+        parameters = context.parameters
+        _, weights, density = context.density_quadrature(self.quadrature_size)
+        # The divergence of beta at phi = 1 is handled once, inside the
+        # context's masked beta table (see AssemblyContext.beta_quadrature).
+        beta_density, beta0 = context.beta_quadrature(self.quadrature_size)
+
+        basis_at_zero, basis_at_one = context.endpoint_values
+        deriv_at_zero, deriv_at_one = context.endpoint_derivatives
+        basis_on_grid = context.basis_values(self.quadrature_size)
+        deriv_on_grid = context.basis_derivatives(self.quadrature_size)
 
         # Left-hand side of eq. 17: integral of w1 against f.
         lhs = (
@@ -261,9 +422,18 @@ def build_constraint_set(
     constraints: list[Constraint],
     basis: SplineBasis,
     parameters: CellCycleParameters,
+    *,
+    context: AssemblyContext | None = None,
 ) -> ConstraintSet:
-    """Assemble the linear rows of all given constraints."""
+    """Assemble the linear rows of all given constraints.
+
+    All constraints share one :class:`AssemblyContext` (the memoised
+    module-level context by default), so the dense quadrature tables and
+    basis evaluations are computed at most once per configuration.
+    """
+    if context is None:
+        context = assembly_context(basis, parameters)
     constraint_set = ConstraintSet.empty(basis.num_basis)
     for constraint in constraints:
-        constraint.apply(constraint_set, basis, parameters)
+        constraint.apply_with_context(constraint_set, context)
     return constraint_set

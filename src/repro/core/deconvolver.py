@@ -6,11 +6,14 @@ population-level expression time series into an estimate of the synchronous
 single-cell profile ``f(phi)``, handling basis construction, constraint
 assembly, smoothing-parameter selection and the constrained QP solve.
 
-Repeated fits against the same measurement grid (multi-species batches,
-bootstrap replicates, sensitivity sweeps) share a :class:`FitWorkspace`: the
-kernel, design matrix, penalty, constraint rows and the per-lambda QP
-factorizations are built once and reused, and each solve can be warm-started
-from a related previous fit via the ``warm_start`` argument.
+Repeated fits share everything reusable through an experiment-scoped
+:class:`~repro.core.session.FitSession`: kernels, forward models and template
+problems (with their per-lambda QP factorizations and selection plans) are
+cached per measurement grid, multi-species batches and bootstrap replicates
+ride the batched multi-RHS engine, and each solve can be warm-started from a
+related previous fit via the ``warm_start`` argument.  The session — reached
+with :meth:`Deconvolver.session` — also exposes the streaming
+``submit``/``flush``/``fit_stream`` API for service-style callers.
 """
 
 from __future__ import annotations
@@ -24,80 +27,14 @@ from repro.cellcycle.kernel import KernelBuilder, VolumeKernel
 from repro.cellcycle.parameters import CellCycleParameters
 from repro.core.basis import SplineBasis
 from repro.core.constraints import Constraint, default_constraints
-from repro.core.forward import ForwardModel
 from repro.core.lambda_selection import select_lambda
 from repro.core.problem import DeconvolutionProblem
 from repro.core.result import DeconvolutionResult
+from repro.core.session import FitSession, FitWorkspace
 from repro.utils.rng import SeedLike
 from repro.utils.validation import ensure_1d
 
-
-class FitWorkspace:
-    """Shared solve state for fits against one (times, sigma) measurement grid.
-
-    Built lazily by :meth:`Deconvolver.fit` and reused while the measurement
-    times and sigmas stay the same; holds the forward model and a template
-    :class:`DeconvolutionProblem` whose solver caches (weighted design, Gram,
-    per-lambda Hessian Cholesky factorizations, transformed constraint rows)
-    are shared by every fit through
-    :meth:`DeconvolutionProblem.with_measurements`.
-    """
-
-    def __init__(
-        self,
-        deconvolver: "Deconvolver",
-        times: np.ndarray,
-        sigma: np.ndarray | float | None,
-        rng: SeedLike,
-    ) -> None:
-        self.times = ensure_1d(times, "times").copy()
-        self.kernel = deconvolver.ensure_kernel(self.times, rng)
-        self.forward = ForwardModel(self.kernel, deconvolver.basis)
-        self.template = DeconvolutionProblem(
-            self.forward,
-            np.zeros(self.forward.num_measurements),
-            sigma=sigma,
-            constraints=deconvolver.constraints,
-            parameters=deconvolver.parameters,
-        )
-        # Identity snapshot of the deconvolver configuration this workspace
-        # froze; used to invalidate the cache if the (public) attributes are
-        # replaced or the constraint list edited between fits.
-        self.source_state = (
-            deconvolver.kernel,
-            deconvolver.basis,
-            deconvolver.parameters,
-            tuple(deconvolver.constraints),
-        )
-
-    def matches(self, deconvolver: "Deconvolver") -> bool:
-        """Whether this workspace still reflects the deconvolver's config."""
-        kernel, basis, parameters, constraints = self.source_state
-        return (
-            deconvolver.kernel is kernel
-            and deconvolver.basis is basis
-            and deconvolver.parameters is parameters
-            and tuple(deconvolver.constraints) == constraints
-        )
-
-    def problem_for(self, measurements: np.ndarray) -> DeconvolutionProblem:
-        """Problem instance for one measurement vector, sharing all caches."""
-        return self.template.with_measurements(measurements)
-
-    @staticmethod
-    def cache_key(
-        times: np.ndarray, sigma: np.ndarray | float | None
-    ) -> tuple[bytes, bytes]:
-        """Hashable identity of a (times, sigma) measurement grid."""
-        times = np.ascontiguousarray(np.asarray(times, dtype=float))
-        if sigma is None:
-            sigma_key = b"uniform"
-        else:
-            sigma_arr = np.ascontiguousarray(
-                np.broadcast_to(np.asarray(sigma, dtype=float), times.shape)
-            )
-            sigma_key = sigma_arr.tobytes()
-        return times.tobytes(), sigma_key
+__all__ = ["Deconvolver", "FitSession", "FitWorkspace"]
 
 
 class Deconvolver:
@@ -143,8 +80,7 @@ class Deconvolver:
         else:
             self.constraints = list(constraints)
         self.solver_backend = solver_backend
-        self._workspace: Optional[FitWorkspace] = None
-        self._workspace_key: Optional[tuple[bytes, bytes]] = None
+        self._session: Optional[FitSession] = None
 
     def ensure_kernel(self, times: np.ndarray, rng: SeedLike = 0) -> VolumeKernel:
         """Return a kernel matching ``times``, building one if necessary."""
@@ -161,6 +97,20 @@ class Deconvolver:
         self.kernel = builder.build(times, rng)
         return self.kernel
 
+    def session(self, *, fresh: bool = False) -> FitSession:
+        """Experiment-scoped :class:`FitSession` owning every reusable cache.
+
+        The session is created lazily and kept while the deconvolver's
+        (public) kernel/basis/parameters/constraints attributes are
+        unchanged; replacing any of them between fits transparently starts a
+        fresh session, so stale factorizations can never leak across
+        configurations.  ``fresh=True`` forces a new session (dropping every
+        per-grid cache), e.g. to bound memory in a long-lived service.
+        """
+        if fresh or self._session is None or not self._session.matches(self):
+            self._session = FitSession(self)
+        return self._session
+
     def fit_workspace(
         self,
         times: np.ndarray,
@@ -170,18 +120,11 @@ class Deconvolver:
     ) -> FitWorkspace:
         """Shared workspace for repeated fits on one (times, sigma) grid.
 
-        The most recent workspace is cached; asking for the same grid again
-        returns it (with all its factorizations) instead of rebuilding.
+        Workspaces live in the :meth:`session`, which retains one per grid:
+        asking for any previously seen grid returns the original workspace
+        object with all of its factorizations.
         """
-        key = FitWorkspace.cache_key(times, sigma)
-        cached = self._workspace
-        # The cached workspace is only valid while the deconvolver still has
-        # the kernel/basis/parameters/constraints it was built from (all are
-        # public attributes and may be replaced between fits).
-        if cached is None or key != self._workspace_key or not cached.matches(self):
-            self._workspace = FitWorkspace(self, times, sigma, rng)
-            self._workspace_key = key
-        return self._workspace
+        return self.session().workspace(times, sigma=sigma, rng=rng)
 
     def build_problem(
         self,
@@ -496,7 +439,10 @@ class Deconvolver:
         """
         from concurrent.futures import ProcessPoolExecutor
 
-        kernel = self.ensure_kernel(ensure_1d(times, "times"), rng)
+        # Resolve the kernel through the session so registered/per-grid
+        # kernels are honoured and the multi-grid caches survive (the old
+        # ensure_kernel path pinned self.kernel, invalidating the session).
+        kernel = self.session().kernel_for(ensure_1d(times, "times"), rng)
         num_species = matrix.shape[1]
         payloads = [
             (

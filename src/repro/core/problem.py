@@ -64,6 +64,13 @@ class DeconvolutionProblem:
         Small multiple of the identity added to the Hessian so the QP stays
         strictly convex even when ``lambda`` is tiny and ``A`` is rank
         deficient.
+    constraint_set:
+        Pre-assembled constraint rows for ``constraints``.  The rows depend
+        only on the basis and parameters — not on the measurement grid — so
+        an experiment-scoped session assembles them once and hands the same
+        set to the problem of every grid; when omitted they are assembled
+        here (through the shared, memoised
+        :func:`~repro.core.constraints.assembly_context`).
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class DeconvolutionProblem:
         constraints: Optional[list[Constraint]] = None,
         parameters: Optional[CellCycleParameters] = None,
         ridge: float = 1e-10,
+        constraint_set: Optional[ConstraintSet] = None,
     ) -> None:
         self.forward = forward
         self.measurements = ensure_1d(measurements, "measurements")
@@ -87,9 +95,13 @@ class DeconvolutionProblem:
 
         self.basis = forward.basis
         self.penalty = self.basis.penalty_matrix()
-        self.constraint_set: ConstraintSet = build_constraint_set(
-            self.constraints, self.basis, self.parameters
-        )
+        if constraint_set is None:
+            constraint_set = build_constraint_set(
+                self.constraints, self.basis, self.parameters
+            )
+        elif constraint_set.equality_matrix.shape[1] != self.basis.num_basis:
+            raise ValueError("constraint_set does not match the basis size")
+        self.constraint_set: ConstraintSet = constraint_set
         self._weights = 1.0 / self.sigma**2
         self._init_solver_caches()
 

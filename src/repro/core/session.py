@@ -1,0 +1,401 @@
+"""Experiment-scoped fit session: cross-grid caching and a streaming fit API.
+
+A :class:`FitSession` owns every reusable artifact of one experiment
+configuration — Monte-Carlo kernels, forward models, assembled template
+problems (and through them the per-lambda Hessian/Cholesky factorizations and
+lambda-selection plans) — keyed by the fingerprint of the measurement time
+grid, so ``N`` species measured on ``M`` time grids pay kernel construction
+and problem assembly once **per grid** instead of once per fit.  The session
+is the layer the :class:`~repro.core.deconvolver.Deconvolver` facade, the
+experiment drivers and the CLI all route through; a
+:class:`FitWorkspace` is merely the session's per-grid view.
+
+On top of the caches the session offers a **streaming fit API** for
+service-style callers: :meth:`FitSession.submit` queues incoming measurement
+vectors, :meth:`FitSession.flush` groups everything queued by (grid, fit
+options) and pushes each group through the batched multi-RHS engine
+(``fit_many(engine="batch")``), and :meth:`FitSession.fit_stream` wraps both
+into an iterator.  A caller feeding vectors one at a time therefore gets the
+amortised multi-RHS marginal cost without managing the batching itself, and
+the results are identical (to solver precision) to one-shot
+:meth:`~repro.core.deconvolver.Deconvolver.fit` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.cellcycle.kernel import KernelBuilder, VolumeKernel
+from repro.core.constraints import ConstraintSet, build_constraint_set
+from repro.core.forward import ForwardModel
+from repro.core.problem import DeconvolutionProblem
+from repro.utils.rng import SeedLike
+from repro.utils.validation import ensure_1d
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken for typing only
+    from repro.core.deconvolver import Deconvolver
+    from repro.core.result import DeconvolutionResult
+
+
+def times_fingerprint(times: np.ndarray) -> bytes:
+    """Hashable identity of a measurement time grid."""
+    return np.ascontiguousarray(np.asarray(times, dtype=float)).tobytes()
+
+
+def sigma_fingerprint(times: np.ndarray, sigma: np.ndarray | float | None) -> bytes:
+    """Hashable identity of a sigma specification on a given time grid."""
+    if sigma is None:
+        return b"uniform"
+    sigma_arr = np.ascontiguousarray(
+        np.broadcast_to(np.asarray(sigma, dtype=float), np.shape(times))
+    )
+    return sigma_arr.tobytes()
+
+
+class FitWorkspace:
+    """Per-grid view of a :class:`FitSession`.
+
+    Holds the session-owned kernel and forward model for one
+    ``(times, sigma)`` measurement grid plus a template
+    :class:`~repro.core.problem.DeconvolutionProblem` whose solver caches
+    (weighted design, Gram, per-lambda Hessian/Cholesky factorizations,
+    selection plans) every fit on the grid shares through
+    :meth:`~repro.core.problem.DeconvolutionProblem.with_measurements`.
+    Workspaces are built and cached by :meth:`FitSession.workspace`; this
+    class assembles nothing itself beyond the template problem.
+    """
+
+    def __init__(
+        self,
+        session: "FitSession",
+        times: np.ndarray,
+        sigma: np.ndarray | float | None,
+        kernel: VolumeKernel,
+        forward: ForwardModel,
+    ) -> None:
+        self.session = session
+        self.times = ensure_1d(times, "times").copy()
+        self.kernel = kernel
+        self.forward = forward
+        self.template = DeconvolutionProblem(
+            forward,
+            np.zeros(forward.num_measurements),
+            sigma=sigma,
+            constraints=session.constraints,
+            parameters=session.parameters,
+            constraint_set=session.constraint_set,
+        )
+        # Identity snapshot of the configuration this workspace froze; kept
+        # for compatibility with pre-session callers (the session holds the
+        # authoritative copy).
+        self.source_state = session.source_state
+
+    def matches(self, deconvolver: "Deconvolver") -> bool:
+        """Whether this workspace still reflects the deconvolver's config."""
+        return self.session.matches(deconvolver)
+
+    def problem_for(self, measurements: np.ndarray) -> DeconvolutionProblem:
+        """Problem instance for one measurement vector, sharing all caches."""
+        return self.template.with_measurements(measurements)
+
+    @staticmethod
+    def cache_key(
+        times: np.ndarray, sigma: np.ndarray | float | None
+    ) -> tuple[bytes, bytes]:
+        """Hashable identity of a (times, sigma) measurement grid."""
+        times = np.asarray(times, dtype=float)
+        return times_fingerprint(times), sigma_fingerprint(times, sigma)
+
+
+@dataclass
+class _PendingFit:
+    """One queued streaming fit awaiting the next :meth:`FitSession.flush`."""
+
+    ticket: int
+    times: np.ndarray
+    measurements: np.ndarray
+    sigma: np.ndarray | float | None
+    lam: float | None
+    lambda_method: str
+    lambda_grid: np.ndarray | None
+    rng: SeedLike
+
+    def bucket(self) -> tuple:
+        """Grouping key: fits in one bucket run as a single batched solve."""
+        return (
+            times_fingerprint(self.times),
+            sigma_fingerprint(self.times, self.sigma),
+            None if self.lam is None else float(self.lam),
+            self.lambda_method,
+            None
+            if self.lambda_grid is None
+            else np.ascontiguousarray(np.asarray(self.lambda_grid, dtype=float)).tobytes(),
+        )
+
+
+class FitSession:
+    """Shared solve state for every fit of one experiment configuration.
+
+    Parameters
+    ----------
+    deconvolver:
+        The configured facade whose kernel/basis/parameters/constraints the
+        session snapshots.  Constructing a session adopts it as the
+        facade's active session; it stays valid while those (public)
+        attributes are unchanged — :meth:`matches` — and
+        :meth:`Deconvolver.session` transparently replaces it otherwise.
+
+    Notes
+    -----
+    Unlike the pre-session single-slot workspace cache, a session retains
+    **every** measurement grid it has seen: revisiting a grid returns the
+    original workspace object with all of its factorizations.  Sigma
+    variants of one time grid share the kernel and the forward model (the
+    design matrix is sigma independent); only the template problem is
+    per-(times, sigma).
+    """
+
+    def __init__(self, deconvolver: "Deconvolver") -> None:
+        self.deconvolver = deconvolver
+        self.parameters = deconvolver.parameters
+        self.basis = deconvolver.basis
+        self.constraints = list(deconvolver.constraints)
+        self.source_state = (
+            deconvolver.kernel,
+            deconvolver.basis,
+            deconvolver.parameters,
+            tuple(deconvolver.constraints),
+        )
+        self._explicit_kernel = deconvolver.kernel
+        self._kernels: dict[bytes, VolumeKernel] = {}
+        if deconvolver.kernel is not None:
+            self._kernels[times_fingerprint(deconvolver.kernel.times)] = deconvolver.kernel
+        self._forwards: dict[bytes, ForwardModel] = {}
+        self._workspaces: dict[tuple[bytes, bytes], FitWorkspace] = {}
+        self._constraint_set: ConstraintSet | None = None
+        self._pending: list[_PendingFit] = []
+        self._next_ticket = 0
+        # Constructing a session adopts it as the deconvolver's active one,
+        # so fits delegated through the facade (fit, fit_many, flush) route
+        # back into *this* session's caches rather than a parallel one.
+        deconvolver._session = self
+
+    # ------------------------------------------------------------------
+    # Cache inspection / invalidation
+    # ------------------------------------------------------------------
+
+    def matches(self, deconvolver: "Deconvolver") -> bool:
+        """Whether this session still reflects the deconvolver's config."""
+        kernel, basis, parameters, constraints = self.source_state
+        return (
+            deconvolver.kernel is kernel
+            and deconvolver.basis is basis
+            and deconvolver.parameters is parameters
+            and tuple(deconvolver.constraints) == constraints
+        )
+
+    @property
+    def num_grids(self) -> int:
+        """Number of distinct measurement time grids the session has seen."""
+        return len(self._kernels)
+
+    @property
+    def num_workspaces(self) -> int:
+        """Number of cached per-(times, sigma) workspaces."""
+        return len(self._workspaces)
+
+    @property
+    def num_pending(self) -> int:
+        """Number of submitted fits waiting for the next :meth:`flush`."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Per-grid artifacts
+    # ------------------------------------------------------------------
+
+    @property
+    def constraint_set(self) -> ConstraintSet:
+        """Constraint rows shared by every grid of this session.
+
+        The rows depend only on the basis and the cell-cycle parameters, so
+        one assembly (itself running off the memoised
+        :func:`~repro.core.constraints.assembly_context`) serves every
+        measurement grid the session ever sees.
+        """
+        if self._constraint_set is None:
+            self._constraint_set = build_constraint_set(
+                self.constraints, self.basis, self.parameters
+            )
+        return self._constraint_set
+
+    def register_kernel(self, kernel: VolumeKernel) -> VolumeKernel:
+        """Adopt a pre-built kernel for its measurement grid.
+
+        Service callers that already hold kernels for their experiment's
+        grids register them up front so the session never pays a Monte-Carlo
+        build; registered kernels take precedence over on-demand builds.
+        """
+        self._kernels[times_fingerprint(kernel.times)] = kernel
+        return kernel
+
+    def kernel_for(self, times: np.ndarray, rng: SeedLike = 0) -> VolumeKernel:
+        """Kernel matching ``times``: cached, registered, or built on demand."""
+        times = ensure_1d(times, "times")
+        key = times_fingerprint(times)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            explicit = self._explicit_kernel
+            if explicit is not None:
+                # A session around an explicit kernel serves only that grid
+                # (plus any registered ones); tolerate float noise the way
+                # ensure_kernel always has.
+                if explicit.times.size == times.size and np.allclose(
+                    explicit.times, times
+                ):
+                    kernel = explicit
+                else:
+                    raise ValueError(
+                        "the provided kernel's measurement times do not match the data times"
+                    )
+            else:
+                builder = self.deconvolver.kernel_builder
+                if builder is None:
+                    builder = KernelBuilder(self.parameters)
+                kernel = builder.build(times, rng)
+            self._kernels[key] = kernel
+        return kernel
+
+    def workspace(
+        self,
+        times: np.ndarray,
+        *,
+        sigma: np.ndarray | float | None = None,
+        rng: SeedLike = 0,
+    ) -> FitWorkspace:
+        """Cached per-grid workspace for repeated fits on ``(times, sigma)``."""
+        times = ensure_1d(times, "times")
+        times_key = times_fingerprint(times)
+        key = (times_key, sigma_fingerprint(times, sigma))
+        cached = self._workspaces.get(key)
+        if cached is None:
+            kernel = self.kernel_for(times, rng)
+            forward = self._forwards.get(times_key)
+            if forward is None:
+                forward = ForwardModel(kernel, self.basis)
+                self._forwards[times_key] = forward
+            cached = FitWorkspace(self, times, sigma, kernel, forward)
+            self._workspaces[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # One-shot fits (delegated to the facade, which routes back through
+    # this session's workspaces)
+    # ------------------------------------------------------------------
+
+    def fit(self, times: np.ndarray, measurements: np.ndarray, **options) -> "DeconvolutionResult":
+        """One-shot fit through the session (see :meth:`Deconvolver.fit`)."""
+        return self.deconvolver.fit(times, measurements, **options)
+
+    def fit_many(
+        self, times: np.ndarray, measurement_matrix: np.ndarray, **options
+    ) -> list["DeconvolutionResult"]:
+        """Batched multi-species fit (see :meth:`Deconvolver.fit_many`)."""
+        return self.deconvolver.fit_many(times, measurement_matrix, **options)
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        times: np.ndarray,
+        measurements: np.ndarray,
+        *,
+        sigma: np.ndarray | float | None = None,
+        lam: float | None = None,
+        lambda_method: str = "gcv",
+        lambda_grid: np.ndarray | None = None,
+        rng: SeedLike = 0,
+    ) -> int:
+        """Queue one measurement vector for the next :meth:`flush`.
+
+        Arguments mirror :meth:`Deconvolver.fit`.  Returns a ticket number;
+        :meth:`flush` returns results in submission (ticket) order.  Fits
+        submitted with the same grid and fit options are solved together as
+        one stacked multi-RHS batch; ``rng`` is taken from the first
+        submission of each batch (it only seeds kernel construction and CV
+        fold assignment, both shared across the batch).
+        """
+        measurements = ensure_1d(measurements, "measurements").copy()
+        if lambda_grid is not None:
+            lambda_grid = np.asarray(lambda_grid, dtype=float).copy()
+        pending = _PendingFit(
+            ticket=self._next_ticket,
+            times=ensure_1d(times, "times").copy(),
+            measurements=measurements,
+            sigma=sigma,
+            lam=lam,
+            lambda_method=lambda_method,
+            lambda_grid=lambda_grid,
+            rng=rng,
+        )
+        self._next_ticket += 1
+        self._pending.append(pending)
+        return pending.ticket
+
+    def flush(self) -> list["DeconvolutionResult"]:
+        """Solve everything queued by :meth:`submit`, in submission order.
+
+        Pending fits are grouped by (grid, fit options); each group runs as
+        one ``fit_many(engine="batch")`` call against this session's shared
+        workspace, i.e. one stacked multi-RHS solve per selected lambda.
+        """
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        buckets: dict[tuple, list[_PendingFit]] = {}
+        for item in pending:
+            buckets.setdefault(item.bucket(), []).append(item)
+        results: dict[int, "DeconvolutionResult"] = {}
+        for items in buckets.values():
+            first = items[0]
+            matrix = np.column_stack([item.measurements for item in items])
+            fits = self.deconvolver.fit_many(
+                first.times,
+                matrix,
+                sigma=first.sigma,
+                lam=first.lam,
+                lambda_method=first.lambda_method,
+                lambda_grid=first.lambda_grid,
+                rng=first.rng,
+                engine="batch",
+            )
+            for item, fit in zip(items, fits):
+                results[item.ticket] = fit
+        return [results[item.ticket] for item in pending]
+
+    def fit_stream(
+        self,
+        items: Iterable[tuple[np.ndarray, np.ndarray]],
+        *,
+        flush_every: Optional[int] = None,
+        **options,
+    ) -> Iterator["DeconvolutionResult"]:
+        """Fit a stream of ``(times, measurements)`` pairs, batched.
+
+        Results are yielded in input order.  With ``flush_every`` set, the
+        queue is flushed whenever that many fits are pending (bounding both
+        latency and memory); otherwise one flush at the end of the stream
+        solves everything in maximal batches.  Keyword ``options`` are
+        forwarded to :meth:`submit` for every item.
+        """
+        if flush_every is not None and flush_every < 1:
+            raise ValueError("flush_every must be a positive integer")
+        for times, measurements in items:
+            self.submit(times, measurements, **options)
+            if flush_every is not None and self.num_pending >= flush_every:
+                yield from self.flush()
+        yield from self.flush()

@@ -99,7 +99,7 @@ def run_volume_model_ablation(
             rng=rng,
         )
         deconvolver = Deconvolver(kernel, parameters=parameters, num_basis=num_basis)
-        result = deconvolver.fit(times, values, sigma=sigma, lam=lam)
+        result = deconvolver.session().fit(times, values, sigma=sigma, lam=lam)
         phases = np.linspace(0.0, 1.0, 201)
         scores[name] = nrmse(result.profile(phases), truth_profile(phases))
     return scores
@@ -145,13 +145,15 @@ def run_constraint_ablation(
     phases = np.linspace(0.0, 1.0, 201)
     scores: dict[str, dict[str, float]] = {}
     for name, toggles in configurations.items():
+        # One session per constraint stack (the stack is part of the session
+        # configuration); the kernel object itself is shared across arms.
         deconvolver = Deconvolver(
             kernel,
             parameters=parameters,
             num_basis=num_basis,
             constraints=default_constraints(**toggles),
         )
-        result = deconvolver.fit(times, values, sigma=sigma, lam=lam)
+        result = deconvolver.session().fit(times, values, sigma=sigma, lam=lam)
         estimate = result.profile(phases)
         scores[name] = {
             "nrmse": nrmse(estimate, truth_profile(phases)),
@@ -193,20 +195,23 @@ def run_lambda_ablation(
         lambdas = default_lambda_grid(num=7, low=1e-5, high=1e1)
     deconvolver = Deconvolver(kernel, parameters=parameters, num_basis=num_basis)
     phases = np.linspace(0.0, 1.0, 201)
-    scores: dict[str, float] = {}
-    previous = None
+    # The whole sweep — every fixed lambda plus both automatic selectors —
+    # is submitted to one session and flushed as batched solves against the
+    # shared assembled problem; each per-lambda factorization is built once.
+    session = deconvolver.session()
+    names: list[str] = []
     for lam in lambdas:
-        # The sweep shares the deconvolver's fit workspace and warm-starts
-        # each lambda's solve from the previous one.
-        result = deconvolver.fit(
-            times, values, sigma=sigma, lam=float(lam), warm_start=previous
-        )
-        previous = result
-        scores[f"lambda={lam:.3g}"] = nrmse(result.profile(phases), truth_profile(phases))
+        names.append(f"lambda={lam:.3g}")
+        session.submit(times, values, sigma=sigma, lam=float(lam))
     for method in ("gcv", "kfold"):
-        result = deconvolver.fit(times, values, sigma=sigma, lam=None, lambda_method=method)
-        scores[method] = nrmse(result.profile(phases), truth_profile(phases))
-    return scores
+        names.append(method)
+        session.submit(times, values, sigma=sigma, lam=None, lambda_method=method)
+    results = session.flush()
+    truth_values = truth_profile(phases)
+    return {
+        name: nrmse(result.profile(phases), truth_values)
+        for name, result in zip(names, results)
+    }
 
 
 def run_kernel_convergence_study(

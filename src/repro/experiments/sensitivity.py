@@ -108,10 +108,12 @@ def run_mu_sst_sensitivity(
         assumed_kernel = KernelBuilder(
             assumed_parameters, num_cells=num_cells, phase_bins=phase_bins
         ).build(times, generator)
+        # Each assumed parameter set is its own session configuration (the
+        # kernel and division constraints both depend on it).
         deconvolver = Deconvolver(
             assumed_kernel, parameters=assumed_parameters, num_basis=num_basis
         )
-        result = deconvolver.fit(times, values, sigma=sigma, lam=lam)
+        result = deconvolver.session().fit(times, values, sigma=sigma, lam=lam)
         errors[index] = nrmse(result.profile(phases), truth(phases))
     return SensitivityResult(
         parameter_name="mu_sst",
@@ -168,10 +170,12 @@ def run_cycle_time_sensitivity(
         assumed_kernel = KernelBuilder(
             assumed_parameters, num_cells=num_cells, phase_bins=phase_bins
         ).build(times, generator)
+        # Each assumed parameter set is its own session configuration (the
+        # kernel and division constraints both depend on it).
         deconvolver = Deconvolver(
             assumed_kernel, parameters=assumed_parameters, num_basis=num_basis
         )
-        result = deconvolver.fit(times, values, sigma=sigma, lam=lam)
+        result = deconvolver.session().fit(times, values, sigma=sigma, lam=lam)
         errors[index] = nrmse(result.profile(phases), truth(phases))
     return SensitivityResult(
         parameter_name="mean_cycle_time",

@@ -24,6 +24,7 @@ from repro.benchmarks.solvepath import (
 EXPECTED_STAGES = {
     "kernel_build",
     "problem_assembly_cold",
+    "problem_assembly_warm",
     "qp_solve",
     "qp_solve_warm",
     "qp_solve_batch",
@@ -32,6 +33,8 @@ EXPECTED_STAGES = {
     "bootstrap",
     "fit_many_gcv",
     "fit_many_kfold",
+    "session_multi_grid",
+    "fit_stream",
 }
 
 

@@ -75,6 +75,27 @@ class TestCLI:
         assert exit_code == 0
         assert "assumed mu_sst" in captured.out
 
+    def test_figure3_command_runs(self, capsys):
+        exit_code = main(["figure3", "--cells", "1200", "--realisations", "1", "--seed", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mean NRMSE" in captured.out
+        assert "noise realisation" in captured.out
+
+    def test_ablations_volume_study(self, capsys):
+        exit_code = main(["ablations", "--study", "volume", "--cells", "800", "--seed", "6"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "volume model" in captured.out
+        assert "smooth" in captured.out
+
+    def test_ablations_lambda_study(self, capsys):
+        exit_code = main(["ablations", "--study", "lambda", "--cells", "800", "--seed", "7"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "smoothing" in captured.out
+        assert "gcv" in captured.out and "kfold" in captured.out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure9"])
