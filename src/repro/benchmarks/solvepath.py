@@ -105,6 +105,31 @@ PR3_BASELINE_SECONDS = {
     "fit_stream": 4.260e-3,
 }
 
+# Timings of the PR 4 session/streaming tree at the default sizes (same
+# machine): the values of PR 4's committed BENCH_solvepath.json.  The
+# ``service_throughput`` entry is the equivalent workload run against the
+# PR 4 tree — the same seeded 320-request mix as one-request-at-a-time warm
+# ``Deconvolver.fit`` calls (PR 4 had no service runtime, so one-at-a-time is
+# exactly what a service caller got).  They anchor the ``speedup_vs_pr4``
+# column, i.e. what the micro-batching service runtime (scheduler, shard
+# pool, result cache) and the lazy-diagnostics result layer bought.
+PR4_BASELINE_SECONDS = {
+    "qp_solve": 3.374e-5,
+    "qp_solve_warm": 2.574e-5,
+    "qp_solve_batch": 1.412e-4,
+    "problem_assembly_cold": 2.179e-3,
+    "problem_assembly_warm": 3.311e-4,
+    "lambda_gcv": 1.561e-4,
+    "lambda_kfold": 7.888e-4,
+    "bootstrap": 1.544e-3,
+    "kernel_build": 3.706e-3,
+    "fit_many_gcv": 2.882e-3,
+    "fit_many_kfold": 1.015e-2,
+    "session_multi_grid": 1.562e-3,
+    "fit_stream": 1.685e-3,
+    "service_throughput": 4.792e-2,
+}
+
 DEFAULT_CONFIG = {
     "num_cells": 6000,
     "phase_bins": 80,
@@ -115,6 +140,7 @@ DEFAULT_CONFIG = {
     "num_species": 8,
     "num_grids": 4,
     "num_stream": 32,
+    "num_service": 320,
     "repeats": 5,
 }
 
@@ -128,6 +154,7 @@ SMOKE_CONFIG = {
     "num_species": 3,
     "num_grids": 2,
     "num_stream": 6,
+    "num_service": 12,
     "repeats": 1,
 }
 
@@ -157,6 +184,7 @@ def run_solvepath_benchmark(
     num_species: int = DEFAULT_CONFIG["num_species"],
     num_grids: int = DEFAULT_CONFIG["num_grids"],
     num_stream: int = DEFAULT_CONFIG["num_stream"],
+    num_service: int = DEFAULT_CONFIG["num_service"],
     repeats: int = DEFAULT_CONFIG["repeats"],
     rng: int = 0,
 ) -> dict:
@@ -204,6 +232,14 @@ def run_solvepath_benchmark(
       ``num_species`` fits sharing one workspace and the lambda grid's
       eigendecompositions/fold plans across species; final solves run
       through the batched engine grouped by selected lambda.
+    * ``service_throughput`` -- the seeded mixed service workload
+      (``num_service`` requests over the session grids: mixed genes, noise
+      levels, smoothing settings, 30% bit-exact repeats, 5% automatic
+      selection) pushed through the micro-batching scheduler
+      (``repro.service``) on a warm pool.  The report's ``service`` section
+      carries the serial one-request-at-a-time reference timing, the
+      speedup, the coalescing factor, p95 latency and the verified maximum
+      coefficient gap against direct fits.
     """
     from repro.cellcycle.kernel import KernelBuilder
     from repro.cellcycle.parameters import CellCycleParameters
@@ -386,6 +422,73 @@ def run_solvepath_benchmark(
 
     stages["fit_stream"] = _time(run_fit_stream, repeats)
 
+    # Service throughput: the seeded mixed workload through the
+    # micro-batching scheduler on a warm session pool, versus the same
+    # requests as one-at-a-time ``fit`` calls.  The result cache is cleared
+    # inside the timed function so within-workload repeats hit (that is the
+    # service's job) but nothing leaks across repeats.
+    from repro.service import (
+        MicroBatchScheduler,
+        SessionPool,
+        WorkloadSpec,
+        build_workload,
+        max_coefficient_gap,
+        serial_reference,
+        warm_serial_reference,
+    )
+
+    def service_factory(_key) -> Deconvolver:
+        service_deconvolver = Deconvolver(parameters=parameters, num_basis=int(num_basis))
+        service_session = service_deconvolver.session()
+        for grid_kernel in session_kernels:
+            service_session.register_kernel(grid_kernel)
+        return service_deconvolver
+
+    workload = build_workload(
+        session_kernels,
+        WorkloadSpec(
+            num_requests=max(2, int(num_service)),
+            repeat_ratio=0.3,
+            selection_fraction=0.05,
+            seed=23,
+        ),
+    )
+    scheduler = MicroBatchScheduler(
+        SessionPool(service_factory), max_batch=64, max_wait_ms=0.2, workers=2
+    )
+    scheduler.map(workload)  # warm the pool's kernels/assembly/factorizations
+
+    def run_service() -> None:
+        scheduler.cache.clear()
+        scheduler.map(workload)
+
+    stages["service_throughput"] = _time(run_service, repeats)
+    service_reference = service_factory("serial-reference")
+    warm_serial_reference(service_reference, workload)
+    serial_results: list = []
+
+    def run_serial() -> None:
+        serial_results[:] = serial_reference(service_reference, workload)
+
+    service_serial = _time(run_serial, repeats)
+    scheduler.cache.clear()
+    scheduler.telemetry.reset()
+    service_results = scheduler.map(workload)
+    service_snapshot = scheduler.telemetry.snapshot()
+    scheduler.shutdown()
+    service_gap = max_coefficient_gap(service_results, serial_results)
+    service_report = {
+        "requests": len(workload),
+        "serial_seconds": service_serial,
+        "speedup_vs_serial": round(service_serial / stages["service_throughput"], 2),
+        "throughput_rps": round(len(workload) / stages["service_throughput"], 1),
+        "coalescing_factor": round(service_snapshot["coalescing_factor"], 2),
+        "p95_latency_ms": round(
+            service_snapshot["histograms"]["latency_seconds"]["p95"] * 1e3, 3
+        ),
+        "max_coefficient_gap": service_gap,
+    }
+
     config = {
         "num_cells": int(num_cells),
         "phase_bins": int(phase_bins),
@@ -396,6 +499,7 @@ def run_solvepath_benchmark(
         "num_species": int(num_species),
         "num_grids": int(num_grids),
         "num_stream": int(num_stream),
+        "num_service": int(num_service),
         "repeats": int(repeats),
     }
     is_default = all(config[key] == DEFAULT_CONFIG[key] for key in DEFAULT_CONFIG if key != "repeats")
@@ -414,6 +518,7 @@ def run_solvepath_benchmark(
         "benchmark": "solvepath",
         "config": config,
         "stages_seconds": stages,
+        "service": service_report,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS if is_default else None,
         "speedup_vs_seed": baseline_speedups(SEED_BASELINE_SECONDS),
         "pr1_baseline_seconds": PR1_BASELINE_SECONDS if is_default else None,
@@ -422,6 +527,8 @@ def run_solvepath_benchmark(
         "speedup_vs_pr2": baseline_speedups(PR2_BASELINE_SECONDS),
         "pr3_baseline_seconds": PR3_BASELINE_SECONDS if is_default else None,
         "speedup_vs_pr3": baseline_speedups(PR3_BASELINE_SECONDS),
+        "pr4_baseline_seconds": PR4_BASELINE_SECONDS if is_default else None,
+        "speedup_vs_pr4": baseline_speedups(PR4_BASELINE_SECONDS),
         "platform": platform.platform(),
     }
 
@@ -440,6 +547,7 @@ def format_report(report: dict) -> str:
     pr1_speedups = report.get("speedup_vs_pr1") or {}
     pr2_speedups = report.get("speedup_vs_pr2") or {}
     pr3_speedups = report.get("speedup_vs_pr3") or {}
+    pr4_speedups = report.get("speedup_vs_pr4") or {}
     for stage, seconds in sorted(report["stages_seconds"].items()):
         line = f"  {stage:22s} {seconds * 1e3:10.3f} ms"
         if stage in seed_speedups:
@@ -450,7 +558,16 @@ def format_report(report: dict) -> str:
             line += f"   ({pr2_speedups[stage]:.1f}x vs PR2)"
         if stage in pr3_speedups:
             line += f"   ({pr3_speedups[stage]:.1f}x vs PR3)"
+        if stage in pr4_speedups:
+            line += f"   ({pr4_speedups[stage]:.1f}x vs PR4)"
         lines.append(line)
+    service = report.get("service")
+    if service:
+        lines.append(
+            "  service: {requests} requests, {speedup_vs_serial:.2f}x vs one-at-a-time "
+            "({throughput_rps:.0f} rps, coalescing {coalescing_factor:.1f}, "
+            "p95 {p95_latency_ms:.2f} ms, max gap {max_coefficient_gap:.1e})".format(**service)
+        )
     return "\n".join(lines)
 
 

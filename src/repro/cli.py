@@ -8,11 +8,14 @@ Usage::
     python -m repro.cli figure5 [--output profile.csv]
     python -m repro.cli sensitivity
     python -m repro.cli ablations [--study volume|constraints|lambda|all]
+    python -m repro.cli serve-bench [--requests 96] [--grids 2] [--verbose]
 
 Each sub-command runs the corresponding experiment driver — all of which
 route their fits through the experiment-scoped ``FitSession`` layer — and
 prints the series / metrics that the paper figure reports.  ``figure5`` can
-additionally write the deconvolved profile to CSV.
+additionally write the deconvolved profile to CSV.  ``serve-bench`` load
+tests the micro-batching fit service (``repro.service``) against
+one-request-at-a-time fits and verifies every response to 1e-10.
 """
 
 from __future__ import annotations
@@ -84,6 +87,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ablations.add_argument("--cells", type=int, default=6000, help="Monte-Carlo founder cells")
     ablations.add_argument("--seed", type=int, default=5, help="random seed")
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="micro-batching fit service benchmark (scheduler vs one-request-at-a-time fits)",
+    )
+    serve.add_argument("--requests", type=int, default=96, help="requests in the seeded workload")
+    serve.add_argument("--cells", type=int, default=3000, help="Monte-Carlo founder cells per kernel")
+    serve.add_argument("--grids", type=int, default=2, help="distinct measurement time grids")
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument("--repeat-ratio", type=float, default=0.3,
+                       help="fraction of requests that bit-exactly repeat an earlier one")
+    serve.add_argument("--selection-fraction", type=float, default=0.05,
+                       help="fraction of fresh requests using automatic lambda selection")
+    serve.add_argument("--max-batch", type=int, default=64, help="scheduler batch size bound")
+    serve.add_argument("--max-wait-ms", type=float, default=0.2, help="scheduler batching window")
+    serve.add_argument("--workers", type=int, default=2, help="scheduler worker threads")
+    serve.add_argument("--verbose", action="store_true",
+                       help="also print pool / session / cache / telemetry stats")
     return parser
 
 
@@ -187,6 +208,106 @@ def _run_figure5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.cellcycle.kernel import KernelBuilder
+    from repro.cellcycle.parameters import CellCycleParameters
+    from repro.core.deconvolver import Deconvolver
+    from repro.service import (
+        MicroBatchScheduler,
+        SessionPool,
+        WorkloadSpec,
+        build_workload,
+        max_coefficient_gap,
+        serial_reference,
+        warm_serial_reference,
+    )
+
+    parameters = CellCycleParameters()
+    builder = KernelBuilder(parameters, num_cells=args.cells, phase_bins=60)
+    # Distinct measurement schedules, generated for however many grids were
+    # asked for (shrinking span and density so every grid is unique).
+    grids = [
+        np.linspace(0.0, 150.0 - 5.0 * index, max(8, 16 - index))
+        for index in range(max(1, args.grids))
+    ]
+    print(f"Building {len(grids)} population kernel(s) ({args.cells} cells each) ...")
+    kernels = [builder.build(times, rng=index) for index, times in enumerate(grids)]
+
+    def factory(_key):
+        deconvolver = Deconvolver(parameters=parameters, num_basis=12)
+        session = deconvolver.session()
+        for kernel in kernels:
+            session.register_kernel(kernel)
+        return deconvolver
+
+    spec = WorkloadSpec(
+        num_requests=args.requests,
+        repeat_ratio=args.repeat_ratio,
+        selection_fraction=args.selection_fraction,
+        seed=args.seed,
+    )
+    workload = build_workload(kernels, spec)
+    pool = SessionPool(factory)
+    reference = factory("serial-reference")
+
+    with MicroBatchScheduler(
+        pool,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+    ) as scheduler:
+        # Warm both paths so the timed passes measure the steady-state
+        # service, not first-request kernel/assembly setup.
+        scheduler.map(workload)
+        scheduler.cache.clear()
+        scheduler.telemetry.reset()
+        warm_serial_reference(reference, workload)
+
+        start = time.perf_counter()
+        streamed = scheduler.map(workload)
+        scheduler_seconds = time.perf_counter() - start
+        snapshot = scheduler.telemetry.snapshot()
+
+        start = time.perf_counter()
+        references = serial_reference(reference, workload)
+        serial_seconds = time.perf_counter() - start
+
+        gap = max_coefficient_gap(streamed, references)
+        latency = snapshot["histograms"]["latency_seconds"]
+        counters = snapshot["counters"]
+        rows = [
+            ["requests", float(len(workload))],
+            ["scheduler ms", scheduler_seconds * 1e3],
+            ["serial ms", serial_seconds * 1e3],
+            ["speedup", serial_seconds / scheduler_seconds],
+            ["throughput rps", len(workload) / scheduler_seconds],
+            ["coalescing factor", snapshot["coalescing_factor"]],
+            ["p50 latency ms", latency["p50"] * 1e3],
+            ["p95 latency ms", latency["p95"] * 1e3],
+            ["p99 latency ms", latency["p99"] * 1e3],
+            ["cache hits", float(counters.get("cache_hits", 0))],
+            ["deduplicated", float(counters.get("deduplicated", 0))],
+            ["max |coef gap|", gap],
+        ]
+        print(format_table(["metric", "value"], rows))
+        if args.verbose:
+            print("scheduler stats:")
+            stats = scheduler.stats()
+            for section in ("pool", "cache"):
+                print(f"  {section}: { {k: v for k, v in stats[section].items() if k != 'sessions'} }")
+            for key, session_stats in stats["pool"]["sessions"].items():
+                print(f"  session {key}: {session_stats}")
+            print(f"  telemetry counters: {counters}")
+            print(f"  batch size: {snapshot['histograms'].get('batch_size')}")
+    if gap > 1e-10:
+        print(f"FAILED: scheduler responses deviate from direct fits by {gap:.2e} (> 1e-10)")
+        return 1
+    print("ok: every scheduler response matches its one-shot fit to 1e-10")
+    return 0
+
+
 def _run_sensitivity(args: argparse.Namespace) -> int:
     result = run_mu_sst_sensitivity(num_cells=args.cells, rng=args.seed)
     print(format_table(
@@ -208,6 +329,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure5": _run_figure5,
         "sensitivity": _run_sensitivity,
         "ablations": _run_ablations,
+        "serve-bench": _run_serve_bench,
     }
     with np.printoptions(precision=4, suppress=True):
         return handlers[args.command](args)

@@ -43,6 +43,42 @@ DEFAULT_NUM_BASIS: int = 12
 #: constraints and profile evaluation.
 DEFAULT_FINE_GRID: int = 201
 
+#: Worker cap for thread pools (GIL-bound work: the `fit_many` thread engine,
+#: the service scheduler's batch workers).
+DEFAULT_THREAD_POOL_CAP: int = 4
+
+#: Worker cap for process pools (the `fit_many` process escape hatch, which
+#: pays a full problem assembly per worker).
+DEFAULT_PROCESS_POOL_CAP: int = 8
+
+
+def default_pool_size(num_tasks: int | None, *, kind: str = "thread") -> int:
+    """Shared worker-pool sizing rule used by every pooled execution path.
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of independent tasks the pool will run, or ``None`` when the
+        task count is unbounded/unknown (a long-lived service): the pool then
+        gets the full cap for its ``kind``.
+    kind:
+        ``"thread"`` (cap :data:`DEFAULT_THREAD_POOL_CAP`) or ``"process"``
+        (cap :data:`DEFAULT_PROCESS_POOL_CAP`).
+
+    Returns
+    -------
+    int
+        ``min(cap, max(1, num_tasks))`` — at least one worker, never more
+        than the cap for the pool kind.
+    """
+    caps = {"thread": DEFAULT_THREAD_POOL_CAP, "process": DEFAULT_PROCESS_POOL_CAP}
+    if kind not in caps:
+        raise ValueError(f"unknown pool kind {kind!r}")
+    cap = caps[kind]
+    if num_tasks is None:
+        return cap
+    return min(cap, max(1, int(num_tasks)))
+
 
 @dataclass(frozen=True)
 class NumericalDefaults:

@@ -27,7 +27,11 @@ from repro.cellcycle.kernel import KernelBuilder, VolumeKernel
 from repro.cellcycle.parameters import CellCycleParameters
 from repro.core.basis import SplineBasis
 from repro.core.constraints import Constraint, default_constraints
-from repro.core.lambda_selection import select_lambda
+from repro.core.lambda_selection import (
+    default_lambda_grid,
+    generalized_cross_validation_batch,
+    select_lambda,
+)
 from repro.core.problem import DeconvolutionProblem
 from repro.core.result import DeconvolutionResult
 from repro.core.session import FitSession, FitWorkspace
@@ -210,25 +214,26 @@ class Deconvolver:
         times: np.ndarray,
         lambda_path: dict[float, float],
     ) -> DeconvolutionResult:
-        """Package one QP solve into a :class:`DeconvolutionResult`."""
+        """Package one QP solve into a :class:`DeconvolutionResult`.
+
+        Derived diagnostics (fitted values, misfit, roughness, constraint
+        violations) are left to the result's lazy properties, backed by the
+        problem reference: batched high-throughput paths only pay for what a
+        caller actually reads, and the values are identical either way.
+        """
         coefficients = qp_result.x
-        fitted = problem.forward.predict(coefficients)
         return DeconvolutionResult(
             coefficients=coefficients,
             basis=self.basis,
             lam=float(lam),
             times=ensure_1d(times, "times").copy(),
             measurements=problem.measurements.copy(),
-            fitted=fitted,
-            sigma=problem.sigma.copy(),
-            data_misfit=problem.data_misfit(coefficients),
-            roughness=problem.roughness(coefficients),
             solver_converged=qp_result.converged,
             solver_iterations=qp_result.iterations,
             lambda_path=lambda_path,
             mean_cycle_time=self.parameters.mean_cycle_time,
-            constraint_violations=problem.constraint_set.violations(coefficients),
             solver_active_set=list(qp_result.active_set),
+            problem=problem,
         )
 
     def fit_many(
@@ -257,8 +262,15 @@ class Deconvolver:
 
         Parameters
         ----------
-        times, sigma, lam, lambda_method, lambda_grid, rng:
+        times, sigma, lambda_method, lambda_grid, rng:
             As in :meth:`fit`, applied to every species.
+        lam:
+            Fixed smoothing parameter(s): a scalar applies to every species,
+            a sequence gives one entry per column (entries may be ``None``
+            to request automatic selection for that species), and ``None``
+            selects automatically for every species.  Mixed-lambda batches
+            let service callers solve heterogeneous traffic on one grid as
+            a single call — the batch engine groups by lambda internally.
         engine:
             Which execution engine runs the final per-species solves (lambda
             selection is always serial so the shared plans are filled
@@ -284,9 +296,10 @@ class Deconvolver:
               an identical copy of ``rng``.
             * ``"auto"`` (default) — ``"batch"``.
         workers:
-            Pool size for the ``thread`` / ``process`` engines (defaults to
-            the species count, capped at 4 for threads and 8 for
-            processes); ignored by the ``batch`` and ``serial`` engines.
+            Pool size for the ``thread`` / ``process`` engines; defaults to
+            :func:`repro.config.default_pool_size` (species count capped at
+            the per-kind limit).  Ignored by the ``batch`` and ``serial``
+            engines.
         warm_start_chain:
             Serial engine only: when true (default) each species' final
             solve is warm-started from the previous species' solution and
@@ -307,6 +320,15 @@ class Deconvolver:
         if engine not in ("batch", "serial", "thread", "process"):
             raise ValueError(f"unknown fit_many engine {engine!r}")
 
+        if lam is None or np.ndim(lam) == 0:
+            requested: list[float | None] = [
+                None if lam is None else float(lam)
+            ] * num_species
+        else:
+            requested = [None if value is None else float(value) for value in lam]
+            if len(requested) != num_species:
+                raise ValueError("per-species lam must have one entry per column")
+
         if engine == "serial" and warm_start_chain:
             results: list[DeconvolutionResult] = []
             previous: DeconvolutionResult | None = None
@@ -315,7 +337,7 @@ class Deconvolver:
                     times,
                     matrix[:, column],
                     sigma=sigma,
-                    lam=lam,
+                    lam=requested[column],
                     lambda_method=lambda_method,
                     lambda_grid=lambda_grid,
                     rng=rng,
@@ -326,18 +348,41 @@ class Deconvolver:
 
         if engine == "process":
             return self._fit_many_process(
-                times, matrix, sigma, lam, lambda_method, lambda_grid, rng, workers
+                times, matrix, sigma, requested, lambda_method, lambda_grid, rng, workers
             )
 
         workspace = self.fit_workspace(times, sigma=sigma, rng=rng)
         problems = [workspace.problem_for(matrix[:, column]) for column in range(num_species)]
         lams: list[float] = []
         paths: list[dict[float, float]] = []
-        for problem in problems:
-            # Selection runs serially on every engine: the per-grid
-            # eigendecompositions and fold plans live in shared caches that
-            # the first species fills and the rest reuse.
-            if lam is None:
+        unselected = [column for column, value in enumerate(requested) if value is None]
+        if len(unselected) > 1 and lambda_method == "gcv":
+            # The whole batch is GCV-scored in one matrix pass off the shared
+            # eigendecomposition; see generalized_cross_validation_batch.
+            grid = (
+                default_lambda_grid()
+                if lambda_grid is None
+                else ensure_1d(lambda_grid, "lambda_grid")
+            )
+            selections = iter(
+                generalized_cross_validation_batch(
+                    workspace.template, matrix[:, unselected], grid
+                )
+            )
+        else:
+            selections = None
+        for column, problem in enumerate(problems):
+            if requested[column] is not None:
+                lams.append(float(requested[column]))
+                paths.append({})
+            elif selections is not None:
+                selection = next(selections)
+                lams.append(float(selection.best_lambda))
+                paths.append(selection.scores)
+            else:
+                # k-fold selection runs serially: the per-grid fold plans
+                # live in shared caches that the first species fills and the
+                # rest reuse.
                 selection = select_lambda(
                     problem,
                     lambda_grid,
@@ -347,9 +392,6 @@ class Deconvolver:
                 )
                 lams.append(float(selection.best_lambda))
                 paths.append(selection.scores)
-            else:
-                lams.append(float(lam))
-                paths.append({})
 
         if engine == "batch":
             # Species sharing a selected lambda also share their Hessian
@@ -366,6 +408,20 @@ class Deconvolver:
             shared: list[int] | None = None
             for chosen in sorted(groups, reverse=True):
                 columns = groups[chosen]
+                if len(columns) == 1:
+                    # Singleton group: the stacked multi-RHS machinery (RHS
+                    # stacking, vectorized KKT verification) costs more than
+                    # it saves for one row; the plain warm workspace solve
+                    # reaches the same exact optimum.
+                    (column,) = columns
+                    qp_result = problems[column].solve(
+                        chosen, backend=self.solver_backend, active_set=shared
+                    )
+                    results[column] = self._result_from_solve(
+                        problems[column], chosen, qp_result, times, paths[column]
+                    )
+                    shared = list(qp_result.active_set) or shared
+                    continue
                 batch = workspace.template.solve_batch(
                     chosen,
                     matrix[:, columns],
@@ -414,7 +470,7 @@ class Deconvolver:
                 problem, lams[index], qp_result, times, paths[index]
             )
 
-        pool_size = int(workers) if workers else min(4, max(1, num_species))
+        pool_size = int(workers) if workers else config.default_pool_size(num_species)
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             return list(pool.map(solve_one, range(num_species)))
 
@@ -423,7 +479,7 @@ class Deconvolver:
         times: np.ndarray,
         matrix: np.ndarray,
         sigma: np.ndarray | float | None,
-        lam: float | None,
+        requested: list,
         lambda_method: str,
         lambda_grid: np.ndarray | None,
         rng: SeedLike,
@@ -454,14 +510,18 @@ class Deconvolver:
                 np.asarray(times, dtype=float),
                 matrix[:, column],
                 sigma,
-                lam,
+                requested[column],
                 lambda_method,
                 lambda_grid,
                 rng,
             )
             for column in range(num_species)
         ]
-        pool_size = int(workers) if workers else min(8, max(1, num_species))
+        pool_size = (
+            int(workers)
+            if workers
+            else config.default_pool_size(num_species, kind="process")
+        )
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
             return list(pool.map(_fit_one_species_process, payloads))
 

@@ -121,6 +121,28 @@ class DeconvolutionProblem:
         # multi-species batch pays for each factorization once.
         self._selection_caches: dict[object, object] = {}
 
+    def release_solver_caches(self) -> None:
+        """Drop this instance's references to the heavyweight solver caches.
+
+        Sibling problems share the per-lambda Hessian/workspace dicts, the
+        selection plans and the design products *by reference*; rebinding
+        them here (never mutating the shared objects) detaches only this
+        instance, so the template and its other siblings keep everything.
+        A long-lived holder of one sibling — e.g. a cached service result
+        backing its lazy diagnostics — calls this so the factorizations can
+        be reclaimed once the owning session is evicted.  Diagnostics
+        (``data_misfit``, ``roughness``, prediction, violations) remain
+        fully functional; a later solve on this instance would simply
+        refactorize from scratch.
+        """
+        self._weighted_design = None
+        self._gram = None
+        self._gradient_cache = None
+        self._programs = {}
+        self._hessians = {}
+        self._workspaces = {}
+        self._selection_caches = {}
+
     def _normalise_sigma(self, sigma: np.ndarray | float | None) -> np.ndarray:
         if sigma is None:
             return np.ones_like(self.measurements)

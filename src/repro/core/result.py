@@ -1,20 +1,30 @@
-"""Deconvolution result container."""
+"""Deconvolution result container with lazily computed diagnostics."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.basis import SplineBasis
 from repro.utils.validation import ensure_1d
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken for typing only
+    from repro.core.problem import DeconvolutionProblem
 
-@dataclass
+
 class DeconvolutionResult:
     """Estimated synchronous expression profile and fit metadata.
 
-    Attributes
+    Diagnostics that are derived from the coefficients — ``fitted``,
+    ``data_misfit``, ``roughness``, ``constraint_violations``, ``sigma`` —
+    may be passed eagerly or left to be computed on first access from the
+    ``problem`` the fit was solved on.  Laziness keeps the per-fit cost of
+    high-throughput paths (multi-species batches, bootstrap replicates, the
+    service scheduler) down to the solve itself; accessing a lazy attribute
+    always yields exactly the value the eager path would have stored.
+
+    Parameters
     ----------
     coefficients:
         Spline coefficients ``alpha`` of the estimated profile.
@@ -27,41 +37,184 @@ class DeconvolutionResult:
     measurements:
         Observed population values ``G(t_m)``.
     fitted:
-        Model-predicted population values ``G_hat(t_m)``.
+        Model-predicted population values ``G_hat(t_m)``; computed from
+        ``problem`` when omitted.
     sigma:
-        Measurement standard deviations used as weights.
+        Measurement standard deviations used as weights; taken from
+        ``problem`` when omitted.
     data_misfit:
-        Weighted squared residual of the fit.
+        Weighted squared residual of the fit; computed from ``problem``
+        when omitted.
     roughness:
-        Roughness ``\\int f''^2`` of the estimate.
+        Roughness ``\\int f''^2`` of the estimate; computed from ``problem``
+        when omitted.
     solver_converged:
         Whether the QP solver reported convergence.
     solver_iterations:
         Iterations used by the QP solver.
-    solver_active_set:
-        Inequality constraints active at the solution; warm-starts related
-        solves (bootstrap replicates, neighbouring lambdas, sibling species).
     lambda_path:
         Optional record of the lambda-selection scores (lambda -> score).
     mean_cycle_time:
         Mean cell-cycle time used to convert phase to "simulated time".
+    constraint_violations:
+        Residual constraint violations at the solution; computed from
+        ``problem`` when omitted.
+    solver_active_set:
+        Inequality constraints active at the solution; warm-starts related
+        solves (bootstrap replicates, neighbouring lambdas, sibling species).
+    problem:
+        The :class:`~repro.core.problem.DeconvolutionProblem` the result was
+        solved on; required only when one of the lazy attributes above is
+        omitted.
     """
 
-    coefficients: np.ndarray
-    basis: SplineBasis
-    lam: float
-    times: np.ndarray
-    measurements: np.ndarray
-    fitted: np.ndarray
-    sigma: np.ndarray
-    data_misfit: float
-    roughness: float
-    solver_converged: bool
-    solver_iterations: int
-    lambda_path: dict[float, float] = field(default_factory=dict)
-    mean_cycle_time: float = 150.0
-    constraint_violations: dict[str, float] = field(default_factory=dict)
-    solver_active_set: list[int] = field(default_factory=list)
+    def __init__(
+        self,
+        coefficients: np.ndarray,
+        basis: SplineBasis,
+        lam: float,
+        times: np.ndarray,
+        measurements: np.ndarray,
+        fitted: Optional[np.ndarray] = None,
+        sigma: Optional[np.ndarray] = None,
+        data_misfit: Optional[float] = None,
+        roughness: Optional[float] = None,
+        solver_converged: bool = True,
+        solver_iterations: int = 0,
+        lambda_path: Optional[dict] = None,
+        mean_cycle_time: float = 150.0,
+        constraint_violations: Optional[dict] = None,
+        solver_active_set: Optional[list] = None,
+        problem: Optional["DeconvolutionProblem"] = None,
+    ) -> None:
+        self.coefficients = coefficients
+        self.basis = basis
+        self.lam = lam
+        self.times = times
+        self.measurements = measurements
+        self.solver_converged = solver_converged
+        self.solver_iterations = solver_iterations
+        self.lambda_path = {} if lambda_path is None else lambda_path
+        self.mean_cycle_time = mean_cycle_time
+        self.solver_active_set = [] if solver_active_set is None else solver_active_set
+        self._problem = problem
+        self._fitted = fitted
+        self._sigma = sigma
+        self._data_misfit = data_misfit
+        self._roughness = roughness
+        self._constraint_violations = constraint_violations
+
+    def release_backing_caches(self) -> "DeconvolutionResult":
+        """Keep lazy diagnostics but stop pinning solver factorizations.
+
+        The backing problem drops its references to the shared per-lambda
+        factorization caches and design products
+        (:meth:`~repro.core.problem.DeconvolutionProblem.release_solver_caches`
+        — the owning session keeps its own), so holding this result
+        long-term, e.g. in the service result cache, does not keep solver
+        state alive past session/pool eviction.  Costs a few attribute
+        rebinds, no materialization.  Returns ``self`` for chaining.
+        """
+        if self._problem is not None:
+            self._problem.release_solver_caches()
+        return self
+
+    def _materialize(self) -> None:
+        """Force every lazy diagnostic to its concrete value.
+
+        The single list of lazily computed attributes; :meth:`detach` and
+        pickling both rely on it, so a new lazy diagnostic only needs to be
+        added here.
+        """
+        _ = (
+            self.fitted,
+            self.sigma,
+            self.data_misfit,
+            self.roughness,
+            self.constraint_violations,
+        )
+
+    def detach(self) -> "DeconvolutionResult":
+        """Materialize every lazy diagnostic and drop the backing problem.
+
+        Afterwards the result is self-contained: it no longer pins the
+        problem's factorization caches or the owning session's arrays in
+        memory.  Long-lived holders of results (the service result cache,
+        archives) detach so that session/pool eviction can actually reclaim
+        memory.  Returns ``self`` for chaining.
+        """
+        if self._problem is not None:
+            self._materialize()
+            self._problem = None
+        return self
+
+    def __getstate__(self) -> dict:
+        """Materialize via :meth:`detach` semantics for pickling.
+
+        Problems hold LAPACK factorization workspaces that cannot (and
+        should not) cross pickle boundaries; a pickled result is therefore
+        fully materialized and self-contained.
+        """
+        if self._problem is not None:
+            self._materialize()
+        state = self.__dict__.copy()
+        state["_problem"] = None
+        return state
+
+    def _require_problem(self, attribute: str) -> "DeconvolutionProblem":
+        """The backing problem, or a clear error when it was never attached."""
+        if self._problem is None:
+            raise AttributeError(
+                f"{attribute} was not provided and no problem is attached to compute it from"
+            )
+        return self._problem
+
+    @property
+    def fitted(self) -> np.ndarray:
+        """Model-predicted population values ``G_hat(t_m)``."""
+        if self._fitted is None:
+            problem = self._require_problem("fitted")
+            self._fitted = problem.forward.predict(self.coefficients)
+        return self._fitted
+
+    @property
+    def sigma(self) -> np.ndarray:
+        """Measurement standard deviations used as weights."""
+        if self._sigma is None:
+            self._sigma = self._require_problem("sigma").sigma.copy()
+        return self._sigma
+
+    @property
+    def data_misfit(self) -> float:
+        """Weighted squared residual of the fit."""
+        if self._data_misfit is None:
+            problem = self._require_problem("data_misfit")
+            self._data_misfit = problem.data_misfit(self.coefficients)
+        return self._data_misfit
+
+    @property
+    def roughness(self) -> float:
+        """Roughness ``\\int f''^2`` of the estimate."""
+        if self._roughness is None:
+            problem = self._require_problem("roughness")
+            self._roughness = problem.roughness(self.coefficients)
+        return self._roughness
+
+    @property
+    def constraint_violations(self) -> dict:
+        """Residual equality/inequality violations at the solution.
+
+        Empty for hand-built results without an attached problem (matching
+        the pre-lazy default).
+        """
+        if self._constraint_violations is None:
+            if self._problem is None:
+                self._constraint_violations = {}
+            else:
+                self._constraint_violations = self._problem.constraint_set.violations(
+                    self.coefficients
+                )
+        return self._constraint_violations
 
     def profile(self, phases: np.ndarray | float) -> np.ndarray | float:
         """Evaluate the deconvolved profile ``f(phi)`` at the given phases."""

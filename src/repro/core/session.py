@@ -55,6 +55,39 @@ def sigma_fingerprint(times: np.ndarray, sigma: np.ndarray | float | None) -> by
     return sigma_arr.tobytes()
 
 
+def fit_options_bucket(
+    times: np.ndarray,
+    sigma: np.ndarray | float | None,
+    lam: float | None,
+    lambda_method: str,
+    lambda_grid: np.ndarray | None,
+) -> tuple:
+    """Grouping key of one fit's options: fits sharing it batch together.
+
+    Fixed-lambda fits on one ``(times, sigma)`` grid share a bucket
+    regardless of their lambda values — :meth:`Deconvolver.fit_many` accepts
+    a per-species lambda sequence and groups by lambda internally — while
+    selection fits also group by method and candidate grid (those steer the
+    scoring pass).  This is the single source of truth for batch
+    compatibility; the session's streaming flush and the service scheduler's
+    coalescing both key on it.
+    """
+    times = np.asarray(times, dtype=float)
+    times_key = times_fingerprint(times)
+    sigma_key = sigma_fingerprint(times, sigma)
+    if lam is not None:
+        return (times_key, sigma_key, "fixed")
+    return (
+        times_key,
+        sigma_key,
+        "select",
+        lambda_method,
+        b"default"
+        if lambda_grid is None
+        else np.ascontiguousarray(np.asarray(lambda_grid, dtype=float)).tobytes(),
+    )
+
+
 class FitWorkspace:
     """Per-grid view of a :class:`FitSession`.
 
@@ -124,15 +157,13 @@ class _PendingFit:
     rng: SeedLike
 
     def bucket(self) -> tuple:
-        """Grouping key: fits in one bucket run as a single batched solve."""
-        return (
-            times_fingerprint(self.times),
-            sigma_fingerprint(self.times, self.sigma),
-            None if self.lam is None else float(self.lam),
-            self.lambda_method,
-            None
-            if self.lambda_grid is None
-            else np.ascontiguousarray(np.asarray(self.lambda_grid, dtype=float)).tobytes(),
+        """Grouping key: fits in one bucket run as a single batched solve.
+
+        Delegates to :func:`fit_options_bucket`, the shared source of truth
+        for batch compatibility.
+        """
+        return fit_options_bucket(
+            self.times, self.sigma, self.lam, self.lambda_method, self.lambda_grid
         )
 
 
@@ -178,6 +209,13 @@ class FitSession:
         self._constraint_set: ConstraintSet | None = None
         self._pending: list[_PendingFit] = []
         self._next_ticket = 0
+        # Usage counters surfaced by stats(); the service layer's pool and
+        # scheduler read them for telemetry and size accounting.
+        self._workspace_hits = 0
+        self._workspace_misses = 0
+        self._kernel_builds = 0
+        self._flushes = 0
+        self._fits_flushed = 0
         # Constructing a session adopts it as the deconvolver's active one,
         # so fits delegated through the facade (fit, fit_many, flush) route
         # back into *this* session's caches rather than a parallel one.
@@ -211,6 +249,46 @@ class FitSession:
     def num_pending(self) -> int:
         """Number of submitted fits waiting for the next :meth:`flush`."""
         return len(self._pending)
+
+    def approx_bytes(self) -> int:
+        """Approximate memory held by the session's per-grid artifacts.
+
+        Counts the dominant dense arrays — kernel densities and forward
+        design matrices — as a cheap size-accounting hook for pool eviction
+        budgets; the per-lambda factorizations scale with the same arrays.
+        Safe to call from a thread other than the one fitting: the dicts
+        are snapshotted atomically (``list()`` under the GIL) before
+        iterating, so a concurrent insert cannot break the sum.
+        """
+        kernels = list(self._kernels.values())
+        forwards = list(self._forwards.values())
+        total = sum(kernel.density.nbytes for kernel in kernels)
+        total += sum(forward.design_matrix.nbytes for forward in forwards)
+        return int(total)
+
+    def stats(self) -> dict:
+        """Usage counters of this session, for telemetry and pool budgets.
+
+        Returns
+        -------
+        dict
+            ``grids`` / ``workspaces`` / ``pending`` sizes,
+            ``workspace_hits`` / ``workspace_misses`` cache counters,
+            ``kernel_builds`` (on-demand Monte-Carlo builds paid),
+            ``flushes`` / ``fits_flushed`` streaming counters and
+            ``approx_bytes`` (see :meth:`approx_bytes`).
+        """
+        return {
+            "grids": self.num_grids,
+            "workspaces": self.num_workspaces,
+            "pending": self.num_pending,
+            "workspace_hits": self._workspace_hits,
+            "workspace_misses": self._workspace_misses,
+            "kernel_builds": self._kernel_builds,
+            "flushes": self._flushes,
+            "fits_flushed": self._fits_flushed,
+            "approx_bytes": self.approx_bytes(),
+        }
 
     # ------------------------------------------------------------------
     # Per-grid artifacts
@@ -265,6 +343,7 @@ class FitSession:
                 if builder is None:
                     builder = KernelBuilder(self.parameters)
                 kernel = builder.build(times, rng)
+                self._kernel_builds += 1
             self._kernels[key] = kernel
         return kernel
 
@@ -280,7 +359,10 @@ class FitSession:
         times_key = times_fingerprint(times)
         key = (times_key, sigma_fingerprint(times, sigma))
         cached = self._workspaces.get(key)
-        if cached is None:
+        if cached is not None:
+            self._workspace_hits += 1
+        else:
+            self._workspace_misses += 1
             kernel = self.kernel_for(times, rng)
             forward = self._forwards.get(times_key)
             if forward is None:
@@ -319,6 +401,7 @@ class FitSession:
         lambda_method: str = "gcv",
         lambda_grid: np.ndarray | None = None,
         rng: SeedLike = 0,
+        copy: bool = True,
     ) -> int:
         """Queue one measurement vector for the next :meth:`flush`.
 
@@ -327,14 +410,22 @@ class FitSession:
         submitted with the same grid and fit options are solved together as
         one stacked multi-RHS batch; ``rng`` is taken from the first
         submission of each batch (it only seeds kernel construction and CV
-        fold assignment, both shared across the batch).
+        fold assignment, both shared across the batch).  With ``copy=False``
+        the queue keeps references instead of snapshots — the caller
+        promises not to mutate the arrays before the flush (the service
+        scheduler owns its request arrays and uses this).
         """
-        measurements = ensure_1d(measurements, "measurements").copy()
+        measurements = ensure_1d(measurements, "measurements")
+        times = ensure_1d(times, "times")
         if lambda_grid is not None:
-            lambda_grid = np.asarray(lambda_grid, dtype=float).copy()
+            lambda_grid = np.asarray(lambda_grid, dtype=float)
+        if copy:
+            measurements = measurements.copy()
+            times = times.copy()
+            lambda_grid = None if lambda_grid is None else lambda_grid.copy()
         pending = _PendingFit(
             ticket=self._next_ticket,
-            times=ensure_1d(times, "times").copy(),
+            times=times,
             measurements=measurements,
             sigma=sigma,
             lam=lam,
@@ -356,6 +447,8 @@ class FitSession:
         if not self._pending:
             return []
         pending, self._pending = self._pending, []
+        self._flushes += 1
+        self._fits_flushed += len(pending)
         buckets: dict[tuple, list[_PendingFit]] = {}
         for item in pending:
             buckets.setdefault(item.bucket(), []).append(item)
@@ -363,11 +456,16 @@ class FitSession:
         for items in buckets.values():
             first = items[0]
             matrix = np.column_stack([item.measurements for item in items])
+            lam: object = None
+            if first.lam is not None:
+                # A fixed-lambda bucket may mix lambda values; fit_many
+                # accepts the per-species sequence and groups internally.
+                lam = [item.lam for item in items]
             fits = self.deconvolver.fit_many(
                 first.times,
                 matrix,
                 sigma=first.sigma,
-                lam=first.lam,
+                lam=lam,
                 lambda_method=first.lambda_method,
                 lambda_grid=first.lambda_grid,
                 rng=first.rng,

@@ -1,0 +1,50 @@
+"""Micro-batching fit service runtime on top of the session layer.
+
+The :mod:`repro.service` package turns the library into a serveable
+long-lived runtime for concurrent deconvolution traffic:
+
+* :class:`~repro.service.pool.SessionPool` — fit sessions sharded by
+  deconvolver configuration, LRU-bounded by entry count / approximate bytes;
+* :class:`~repro.service.scheduler.MicroBatchScheduler` — bounded-queue
+  intake from many producer threads, time/size-windowed coalescing into
+  stacked multi-RHS solves, futures for responses, graceful drain/shutdown;
+* :class:`~repro.service.cache.ResultCache` — content-addressed result
+  cache answering bit-exact repeats in O(lookup);
+* :class:`~repro.service.telemetry.Telemetry` — counters plus latency and
+  batch-size histograms with a ``snapshot()`` dict;
+* :mod:`~repro.service.loadgen` — deterministic seeded workload generation
+  for benchmarks and ``repro serve-bench``.
+
+Responses are bit-identical (to 1e-10) to direct
+:meth:`~repro.core.deconvolver.Deconvolver.fit` calls; the service layer
+only changes *when* and *together with what* each request is solved.
+"""
+
+from repro.service.cache import ResultCache, request_fingerprint
+from repro.service.loadgen import (
+    WorkloadSpec,
+    build_workload,
+    max_coefficient_gap,
+    serial_reference,
+    warm_serial_reference,
+)
+from repro.service.pool import PoolEntry, SessionPool
+from repro.service.scheduler import DEFAULT_CONFIG_KEY, FitRequest, MicroBatchScheduler
+from repro.service.telemetry import Histogram, Telemetry
+
+__all__ = [
+    "DEFAULT_CONFIG_KEY",
+    "FitRequest",
+    "Histogram",
+    "MicroBatchScheduler",
+    "PoolEntry",
+    "ResultCache",
+    "SessionPool",
+    "Telemetry",
+    "WorkloadSpec",
+    "build_workload",
+    "max_coefficient_gap",
+    "request_fingerprint",
+    "serial_reference",
+    "warm_serial_reference",
+]

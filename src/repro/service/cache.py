@@ -1,0 +1,163 @@
+"""Content-addressed result cache for the fit service runtime.
+
+A production fit service sees the same request many times — replicate
+uploads, dashboard refreshes, retried clients.  Solves are deterministic
+functions of (deconvolver configuration, measurement grid, measurement
+vector, fit options), so the service layer can answer repeats in O(lookup):
+:func:`request_fingerprint` hashes that whole tuple into a stable hex digest
+and :class:`ResultCache` maps digests to finished
+:class:`~repro.core.result.DeconvolutionResult` objects under an LRU entry
+budget.  The scheduler consults the cache at submit time (hits never enter
+the batch queue) and stores every solved result on the way out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.session import sigma_fingerprint, times_fingerprint
+from repro.utils.rng import SeedLike
+
+__all__ = ["ResultCache", "request_fingerprint", "seed_fingerprint"]
+
+#: Monotonic source of never-repeating tokens for seeds without a stable
+#: content identity (see :func:`seed_fingerprint`).
+_OPAQUE_SEEDS = itertools.count()
+
+
+def seed_fingerprint(rng: SeedLike) -> str:
+    """Deterministic content token of a seed specification.
+
+    Integer seeds and ``SeedSequence``s are pure values; a
+    ``numpy.random.Generator`` is identified by its *current bit-generator
+    state* (two generators at the same state produce identical fits —
+    ``repr()`` of a generator would collapse every instance to
+    ``"Generator(PCG64)"`` and alias distinct streams).  ``None`` means
+    fresh entropy and anything unrecognised has no stable identity: those
+    get a unique token every call, keeping them out of the result cache and
+    out of shared batches instead of silently colliding.
+    """
+    if isinstance(rng, (int, np.integer)):
+        return f"int:{int(rng)}"
+    if isinstance(rng, np.random.SeedSequence):
+        return f"seq:{rng.entropy}:{rng.spawn_key}"
+    if isinstance(rng, np.random.Generator):
+        return f"gen:{rng.bit_generator.state!r}"
+    return f"opaque:{next(_OPAQUE_SEEDS)}"
+
+
+def request_fingerprint(
+    config: Hashable,
+    times: np.ndarray,
+    measurements: np.ndarray,
+    *,
+    sigma: np.ndarray | float | None = None,
+    lam: float | None = None,
+    lambda_method: str = "gcv",
+    lambda_grid: np.ndarray | None = None,
+    rng: object = 0,
+) -> str:
+    """Stable content hash of one fit request.
+
+    Two requests share a fingerprint exactly when a deterministic solver
+    must return identical results for them: same session configuration key,
+    same measurement grid and values (bit-wise), same smoothing settings and
+    the same seed content (the seed steers kernel construction and CV fold
+    assignment; see :func:`seed_fingerprint` for what counts as the same
+    seed — ``None`` never matches anything, including itself).
+
+    Parameters
+    ----------
+    config:
+        Hashable configuration key addressing the session pool shard.
+    times, measurements, sigma, lam, lambda_method, lambda_grid, rng:
+        As in :meth:`repro.core.deconvolver.Deconvolver.fit`.
+
+    Returns
+    -------
+    str
+        Hex digest; collisions are cryptographically unlikely (blake2b).
+    """
+    times = np.asarray(times, dtype=float)
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(repr(config).encode())
+    digest.update(times_fingerprint(times))
+    digest.update(np.ascontiguousarray(np.asarray(measurements, dtype=float)).tobytes())
+    digest.update(sigma_fingerprint(times, sigma))
+    digest.update(b"none" if lam is None else repr(float(lam)).encode())
+    digest.update(lambda_method.encode())
+    if lambda_grid is None:
+        digest.update(b"default-grid")
+    else:
+        digest.update(np.ascontiguousarray(np.asarray(lambda_grid, dtype=float)).tobytes())
+    digest.update(seed_fingerprint(rng).encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache from request fingerprints to fit results.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry budget; the least recently *used* (hit or stored) entries are
+        evicted once the budget is exceeded.  ``0`` disables caching (every
+        lookup misses, nothing is stored).
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        """The cached result for ``key`` (refreshing recency), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, result: object) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries over budget."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Entry count, budget and hit/miss/eviction counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,197 @@
+"""Deterministic, seeded workload generator for the fit service runtime.
+
+Benchmarks and the ``repro serve-bench`` CLI need realistic service traffic:
+a mix of measurement grids, synthetic "genes", noise levels, smoothing
+settings and *exact repeats* (retried or re-displayed requests that a
+content-addressed cache should answer).  :func:`build_workload` produces
+such a request list deterministically from a seed, so throughput numbers
+are reproducible run to run and every response can be verified bit-for-bit
+against the one-at-a-time reference that :func:`serial_reference` computes
+with plain :meth:`~repro.core.deconvolver.Deconvolver.fit` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.synthetic import single_pulse_profile
+from repro.service.scheduler import DEFAULT_CONFIG_KEY, FitRequest
+
+__all__ = [
+    "WorkloadSpec",
+    "build_workload",
+    "max_coefficient_gap",
+    "serial_reference",
+    "warm_serial_reference",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a generated service workload.
+
+    Attributes
+    ----------
+    num_requests:
+        Total number of requests generated.
+    repeat_ratio:
+        Probability that a request is a bit-exact repeat of an earlier one
+        (fresh array copies, so only content addressing can recognise it).
+    selection_fraction:
+        Fraction of fresh requests that ask for automatic lambda selection
+        (``lam=None``) instead of a fixed smoothing parameter.
+    noise_levels:
+        Measurement noise scales mixed uniformly across fresh requests.
+    lambdas:
+        Fixed smoothing parameters mixed across non-selection requests.
+    species_variety:
+        Number of distinct synthetic truth profiles ("genes") in the mix.
+    seed:
+        Seed of the generator; the workload is a pure function of the spec
+        and the kernel list.
+    """
+
+    num_requests: int = 64
+    repeat_ratio: float = 0.25
+    selection_fraction: float = 0.2
+    noise_levels: tuple = (0.005, 0.02)
+    lambdas: tuple = (1e-3, 1e-2)
+    species_variety: int = 6
+    seed: int = 0
+
+
+def build_workload(
+    kernels: Sequence,
+    spec: WorkloadSpec = WorkloadSpec(),
+    *,
+    config: Hashable = DEFAULT_CONFIG_KEY,
+) -> list[FitRequest]:
+    """Generate the seeded request mix for ``kernels``.
+
+    Parameters
+    ----------
+    kernels:
+        Pre-built :class:`~repro.cellcycle.kernel.VolumeKernel` objects, one
+        per measurement grid in the mix; requests cycle over them randomly.
+    spec:
+        Workload shape (see :class:`WorkloadSpec`).
+    config:
+        Pool shard key stamped on every request.
+
+    Returns
+    -------
+    list[FitRequest]
+        ``spec.num_requests`` requests; repeats carry fresh array copies so
+        only a content-addressed cache can recognise them.
+    """
+    if not kernels:
+        raise ValueError("at least one kernel is required")
+    rng = np.random.default_rng(spec.seed)
+    profiles = [
+        single_pulse_profile(
+            center=0.15 + 0.7 * rng.random(),
+            width=0.10 + 0.08 * rng.random(),
+            amplitude=1.0 + rng.random(),
+            baseline=0.2,
+        )
+        for _ in range(max(1, spec.species_variety))
+    ]
+    requests: list[FitRequest] = []
+    fresh: list[FitRequest] = []
+    for _ in range(spec.num_requests):
+        if fresh and rng.random() < spec.repeat_ratio:
+            base = fresh[int(rng.integers(len(fresh)))]
+            requests.append(
+                FitRequest(
+                    times=base.times.copy(),
+                    measurements=base.measurements.copy(),
+                    sigma=base.sigma,
+                    lam=base.lam,
+                    lambda_method=base.lambda_method,
+                    lambda_grid=base.lambda_grid,
+                    rng=base.rng,
+                    config=base.config,
+                )
+            )
+            continue
+        kernel = kernels[int(rng.integers(len(kernels)))]
+        profile = profiles[int(rng.integers(len(profiles)))]
+        noise = float(spec.noise_levels[int(rng.integers(len(spec.noise_levels)))])
+        clean = kernel.apply_function(profile)
+        values = clean + noise * rng.normal(size=clean.size)
+        lam = None
+        if rng.random() >= spec.selection_fraction:
+            lam = float(spec.lambdas[int(rng.integers(len(spec.lambdas)))])
+        request = FitRequest(
+            times=np.asarray(kernel.times, dtype=float).copy(),
+            measurements=values,
+            lam=lam,
+            config=config,
+        )
+        fresh.append(request)
+        requests.append(request)
+    return requests
+
+
+def serial_reference(
+    deconvolvers, requests: Sequence[FitRequest]
+) -> list:
+    """One-request-at-a-time reference: plain ``fit`` calls, no service layer.
+
+    Parameters
+    ----------
+    deconvolvers:
+        Either one :class:`~repro.core.deconvolver.Deconvolver` (serving
+        every request) or a mapping from request ``config`` keys to
+        deconvolvers.
+    requests:
+        The workload, fitted in order.
+
+    Returns
+    -------
+    list[DeconvolutionResult]
+        One result per request — the ground truth the scheduler's responses
+        are verified against (bit-identical to 1e-10).
+    """
+    if isinstance(deconvolvers, Mapping):
+        resolve = deconvolvers.__getitem__
+    else:
+        resolve = lambda _key: deconvolvers  # noqa: E731 - tiny adapter
+    return [
+        resolve(request.config).fit(
+            request.times,
+            request.measurements,
+            sigma=request.sigma,
+            lam=request.lam,
+            lambda_method=request.lambda_method,
+            lambda_grid=request.lambda_grid,
+            rng=request.rng,
+        )
+        for request in requests
+    ]
+
+
+def warm_serial_reference(deconvolvers, requests: Sequence[FitRequest]) -> list:
+    """Warm the one-at-a-time path with one representative per batch bucket.
+
+    Benchmarks warm the serial reference before timing it so the measured
+    pass pays no cold per-grid assembly the scheduler pass was spared
+    either; one request per :meth:`FitRequest.batch_key` covers every grid,
+    sigma variant and selection setting in the workload.  Returns the
+    warm-up results (usually discarded).
+    """
+    representatives: dict = {}
+    for request in requests:
+        representatives.setdefault(request.batch_key(), request)
+    return serial_reference(deconvolvers, list(representatives.values()))
+
+
+def max_coefficient_gap(results, references) -> float:
+    """Largest absolute coefficient difference across two result lists."""
+    return max(
+        float(np.max(np.abs(result.coefficients - reference.coefficients)))
+        for result, reference in zip(results, references)
+    )

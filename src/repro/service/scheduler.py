@@ -1,0 +1,559 @@
+"""Micro-batching scheduler: many producers, coalesced multi-RHS solves.
+
+:class:`MicroBatchScheduler` is the concurrency layer of the fit service.
+Producer threads call :meth:`MicroBatchScheduler.submit` with a
+:class:`FitRequest` and immediately get a
+:class:`concurrent.futures.Future`; a dedicated batcher thread pulls
+requests off a bounded queue (the bound is the backpressure: producers block
+once the service is saturated), coalesces them by compatibility key — same
+configuration shard, measurement grid and fit options — within a
+``max_batch`` / ``max_wait_ms`` window, and dispatches each coalesced batch
+to a worker pool.  Workers push each batch through the shard deconvolver's
+``fit_many(engine="batch")`` against the shard session's warm caches —
+one stacked multi-RHS solve per distinct lambda, one shared GCV scoring
+pass for the whole batch — so the marginal cost per request is one gradient
+plus one row of a batched solve, while every response stays bit-identical
+(to 1e-10) to a direct :meth:`~repro.core.deconvolver.Deconvolver.fit`
+call (the session layer's tested guarantee).
+
+Results of finished solves are recorded in a content-addressed
+:class:`~repro.service.cache.ResultCache`; repeated requests short-circuit
+at submit time without ever entering the queue.  Counters and latency /
+batch-size histograms land in a
+:class:`~repro.service.telemetry.Telemetry` hub.  ``shutdown(drain=True)``
+(also the context-manager exit) completes everything queued before
+stopping; ``drain=False`` cancels whatever has not been dispatched yet.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro import config
+from repro.core.session import fit_options_bucket
+from repro.service.cache import ResultCache, request_fingerprint, seed_fingerprint
+from repro.service.pool import SessionPool
+from repro.service.telemetry import Telemetry
+from repro.utils.rng import SeedLike
+
+__all__ = ["DEFAULT_CONFIG_KEY", "FitRequest", "MicroBatchScheduler"]
+
+#: Pool shard addressed by requests that do not name a configuration.
+DEFAULT_CONFIG_KEY = "default"
+
+#: Queue sentinel asking the batcher thread to flush and exit.
+_STOP = object()
+
+
+@dataclass
+class FitRequest:
+    """One deconvolution request addressed to a pool shard.
+
+    Parameters mirror :meth:`repro.core.deconvolver.Deconvolver.fit` plus
+    ``config``, the :class:`~repro.service.pool.SessionPool` shard key naming
+    the deconvolver configuration that should serve the request.
+    """
+
+    times: np.ndarray
+    measurements: np.ndarray
+    sigma: np.ndarray | float | None = None
+    lam: float | None = None
+    lambda_method: str = "gcv"
+    lambda_grid: np.ndarray | None = None
+    rng: SeedLike = 0
+    config: Hashable = DEFAULT_CONFIG_KEY
+
+    def batch_key(self) -> tuple:
+        """Coalescing key: requests sharing it solve as one stacked batch.
+
+        The session layer's :func:`~repro.core.session.fit_options_bucket`
+        (fixed-lambda fits on one (grid, sigma) coalesce regardless of their
+        lambda values, selection fits also group by method and candidate
+        grid) prefixed with the configuration shard and the seed content
+        (:func:`~repro.service.cache.seed_fingerprint` — the seed steers
+        kernel construction and CV fold assignment, which a batch shares;
+        ``None`` seeds never coalesce).
+        """
+        return (
+            self.config,
+            seed_fingerprint(self.rng),
+        ) + fit_options_bucket(
+            self.times, self.sigma, self.lam, self.lambda_method, self.lambda_grid
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash for the result cache (see :func:`request_fingerprint`)."""
+        return request_fingerprint(
+            self.config,
+            self.times,
+            self.measurements,
+            sigma=self.sigma,
+            lam=self.lam,
+            lambda_method=self.lambda_method,
+            lambda_grid=self.lambda_grid,
+            rng=self.rng,
+        )
+
+
+@dataclass
+class _QueuedItem:
+    """A request in flight: the future to resolve and its timing/cache keys."""
+
+    request: FitRequest
+    future: Future
+    enqueued_at: float
+    cache_key: str | None = field(default=None)
+
+
+class MicroBatchScheduler:
+    """Coalesce concurrent fit requests into stacked multi-RHS solves.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.service.pool.SessionPool` whose shards serve the
+        requests.
+    max_batch:
+        Dispatch a coalesced batch as soon as it holds this many requests.
+    max_wait_ms:
+        Dispatch a partial batch once its oldest request has waited this
+        long — the latency bound of the micro-batching window.
+    max_queue:
+        Bound of the intake queue; :meth:`submit` blocks once it is full
+        (backpressure) until the batcher catches up.
+    workers:
+        Size of the solve worker pool; defaults to
+        :func:`repro.config.default_pool_size` for an unbounded task count.
+        Batches for one shard serialize on the shard lock; workers buy
+        parallelism across shards.
+    cache:
+        Result cache; defaults to a fresh 1024-entry
+        :class:`~repro.service.cache.ResultCache`.  Pass ``ResultCache(0)``
+        to disable caching.
+    telemetry:
+        Metrics hub; defaults to a fresh
+        :class:`~repro.service.telemetry.Telemetry`.
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.pool = pool
+        self.max_batch = int(max_batch)
+        self.max_wait_seconds = float(max_wait_ms) / 1e3
+        self.cache = cache if cache is not None else ResultCache()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.workers = (
+            int(workers) if workers is not None else config.default_pool_size(None)
+        )
+        self._queue: queue.Queue = queue.Queue(maxsize=int(max_queue))
+        self._accept_lock = threading.Lock()
+        self._closed = False
+        self._discard = False
+        self._outstanding = 0
+        self._outstanding_cond = threading.Condition()
+        # Batches are executed by per-shard runners: one worker drains one
+        # shard's batch queue end to end (holding the pool lease once), so
+        # consecutive batches of a shard never pay a thread handoff or fight
+        # over the shard lock.
+        self._shard_lock = threading.Lock()
+        self._shard_queues: dict[Hashable, list] = {}
+        self._shard_active: set = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service-worker"
+        )
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="repro-service-batcher", daemon=True
+        )
+        self._batcher.start()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def submit(self, request: FitRequest, *, timeout: float | None = None) -> Future:
+        """Queue one request; returns a future resolving to its result.
+
+        Cache hits resolve immediately without entering the queue.  When the
+        intake queue is full the call blocks (backpressure) until space
+        frees, or raises :class:`queue.Full` after ``timeout`` seconds if a
+        timeout is given.  Raises :class:`RuntimeError` after
+        :meth:`shutdown` (for cached and uncached content alike).
+        """
+        if self._closed:
+            raise RuntimeError("scheduler has been shut down")
+        future: Future = Future()
+        cache_key = request.fingerprint() if self.cache.max_entries > 0 else None
+        if cache_key is not None:
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                self.telemetry.record_batch(
+                    {"requests": 1, "cache_hits": 1, "completed": 1},
+                    {"latency_seconds": [0.0]},
+                )
+                future.set_result(cached)
+                return future
+        item = _QueuedItem(request, future, time.perf_counter(), cache_key)
+        with self._accept_lock:
+            if self._closed:
+                raise RuntimeError("scheduler has been shut down")
+            self._queue.put(item, timeout=timeout)
+            with self._outstanding_cond:
+                self._outstanding += 1
+        self.telemetry.increment("requests")
+        return future
+
+    def submit_many(
+        self, requests: Iterable[FitRequest], *, timeout: float | None = None
+    ) -> list[Future]:
+        """Bulk intake: queue many requests with one lock round-trip.
+
+        Semantically ``[submit(r) for r in requests]`` (cache hits resolve
+        immediately, the rest enter the batching queue in order) but the
+        accept lock and telemetry are touched once for the whole list, which
+        matters for bulk producers feeding hundreds of requests at a time.
+        If a ``timeout`` is given and the queue stays full,
+        :class:`queue.Full` propagates; requests enqueued before the
+        timeout are still processed (and cached), the rest are dropped.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler has been shut down")
+        futures: list[Future] = []
+        hits = 0
+        items: list[_QueuedItem] = []
+        now = time.perf_counter()
+        for request in requests:
+            future = Future()
+            cache_key = request.fingerprint() if self.cache.max_entries > 0 else None
+            cached = self.cache.get(cache_key) if cache_key is not None else None
+            if cached is not None:
+                hits += 1
+                future.set_result(cached)
+            else:
+                items.append(_QueuedItem(request, future, now, cache_key))
+            futures.append(future)
+        with self._accept_lock:
+            if self._closed:
+                raise RuntimeError("scheduler has been shut down")
+            for item in items:
+                # Count each item as it is accepted: if a put times out
+                # mid-batch, the already-enqueued items stay correctly
+                # accounted and drain()/shutdown() still converge.
+                self._queue.put(item, timeout=timeout)
+                with self._outstanding_cond:
+                    self._outstanding += 1
+        self.telemetry.record_batch(
+            {"requests": len(futures), "cache_hits": hits, "completed": hits},
+            {"latency_seconds": [0.0] * hits},
+        )
+        return futures
+
+    def map(self, requests: Iterable[FitRequest]) -> list:
+        """Submit ``requests`` and block for their results, in input order."""
+        futures = self.submit_many(requests)
+        return [future.result() for future in futures]
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every accepted request has resolved.
+
+        Returns ``True`` when the service went idle, ``False`` on timeout.
+        """
+        with self._outstanding_cond:
+            return self._outstanding_cond.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            )
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (default) everything already accepted is solved
+        before the threads stop; with ``drain=False`` requests not yet
+        dispatched to a worker are cancelled (their futures end in the
+        cancelled state).  Idempotent.
+        """
+        with self._accept_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._discard = not drain
+        self._queue.put(_STOP)
+        self._batcher.join(timeout)
+        if drain:
+            self.drain(timeout)
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def stats(self) -> dict:
+        """Queue depth, in-flight count, knobs, and pool/cache/telemetry stats."""
+        with self._outstanding_cond:
+            outstanding = self._outstanding
+        return {
+            "queued": self._queue.qsize(),
+            "outstanding": outstanding,
+            "workers": self.workers,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_seconds * 1e3,
+            "closed": self._closed,
+            "pool": self.pool.stats(),
+            "cache": self.cache.stats(),
+            "telemetry": self.telemetry.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Batcher thread
+    # ------------------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        pending: dict[tuple, list[_QueuedItem]] = {}
+        deadlines: dict[tuple, float] = {}
+
+        def dispatch(key: tuple) -> None:
+            items = pending.pop(key)
+            deadlines.pop(key, None)
+            shard = key[0]
+            with self._shard_lock:
+                self._shard_queues.setdefault(shard, []).append(items)
+                if shard in self._shard_active:
+                    return
+                self._shard_active.add(shard)
+            self._executor.submit(self._run_shard, shard)
+
+        def add(item: _QueuedItem) -> None:
+            key = item.request.batch_key()
+            bucket = pending.setdefault(key, [])
+            if not bucket:
+                deadlines[key] = time.perf_counter() + self.max_wait_seconds
+            bucket.append(item)
+            if len(bucket) >= self.max_batch:
+                dispatch(key)
+
+        try:
+            while True:
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values()) - time.perf_counter())
+                try:
+                    item = self._queue.get(timeout=timeout)
+                except queue.Empty:
+                    item = None
+                if item is _STOP:
+                    # FIFO guarantees every accepted item precedes the stop
+                    # sentinel; drain whatever is left, then flush or cancel.
+                    while True:
+                        try:
+                            extra = self._queue.get_nowait()
+                        except queue.Empty:
+                            break
+                        if extra is not _STOP:
+                            add(extra)
+                    for key in list(pending):
+                        if self._discard:
+                            for stale in pending.pop(key):
+                                self._cancel(stale)
+                        else:
+                            dispatch(key)
+                    return
+                if item is not None:
+                    add(item)
+                now = time.perf_counter()
+                for key in [k for k, d in deadlines.items() if d <= now]:
+                    dispatch(key)
+        except Exception as exc:  # pragma: no cover - defensive: fail loudly
+            for items in pending.values():
+                for item in items:
+                    self._fail(item, exc)
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _run_shard(self, shard: Hashable) -> None:
+        """Drain one shard's dispatched batches on a single worker thread.
+
+        The pool lease (and with it the shard lock) is taken once for the
+        whole drain, so back-to-back batches of one configuration never pay
+        a thread handoff; the runner deactivates atomically with the
+        emptiness check, and the batcher starts a new runner when it
+        dispatches into an inactive shard.
+        """
+        try:
+            with self.pool.lease(shard) as entry:
+                while True:
+                    with self._shard_lock:
+                        batches = self._shard_queues.get(shard)
+                        if not batches:
+                            self._shard_active.discard(shard)
+                            return
+                        taken, batches[:] = batches[:], []
+                    # Adaptive re-batching: everything that queued up while
+                    # the previous solve ran is taken in one gulp and
+                    # re-merged by batch key, so sustained load coalesces
+                    # into maximal batches no matter how the time windows
+                    # fell at intake.
+                    merged: dict[tuple, list[_QueuedItem]] = {}
+                    for items in taken:
+                        merged.setdefault(items[0].request.batch_key(), []).extend(items)
+                    for items in merged.values():
+                        self._run_batch(entry, items)
+        except Exception as exc:  # e.g. the pool factory failed
+            while True:
+                with self._shard_lock:
+                    batches = self._shard_queues.get(shard)
+                    if not batches:
+                        self._shard_active.discard(shard)
+                        return
+                    items = batches.pop(0)
+                for item in items:
+                    self._fail(item, exc)
+
+    def _run_batch(self, entry, items: Sequence[_QueuedItem]) -> None:
+        # Late cache pass + in-batch dedup: an earlier batch may have solved
+        # identical content since these items were queued, and bit-exact
+        # repeats inside one batch only need a single solve row.
+        ready: list[tuple[_QueuedItem, object]] = []
+        to_solve: list[_QueuedItem] = []
+        leaders: dict[str, int] = {}
+        duplicates: dict[int, list[_QueuedItem]] = {}
+        for item in items:
+            key = item.cache_key
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    ready.append((item, cached))
+                    continue
+                leader = leaders.get(key)
+                if leader is not None:
+                    duplicates.setdefault(leader, []).append(item)
+                    continue
+                leaders[key] = len(to_solve)
+            to_solve.append(item)
+        deduplicated = len(items) - len(ready) - len(to_solve)
+        results: list = []
+        if to_solve:
+            try:
+                with entry.lock:
+                    first = to_solve[0].request
+                    matrix = np.column_stack(
+                        [item.request.measurements for item in to_solve]
+                    )
+                    # All items share a batch key, so this is exactly one
+                    # session bucket: dispatch it as a single fit_many call
+                    # (one stacked multi-RHS solve per distinct lambda)
+                    # against the shard's warm session caches.
+                    results = entry.deconvolver.fit_many(
+                        first.times,
+                        matrix,
+                        sigma=first.sigma,
+                        lam=None
+                        if first.lam is None
+                        else [item.request.lam for item in to_solve],
+                        lambda_method=first.lambda_method,
+                        lambda_grid=first.lambda_grid,
+                        rng=first.rng,
+                        engine="batch",
+                    )
+            except Exception as exc:
+                now = time.perf_counter()
+                self.telemetry.record_batch(
+                    {
+                        "batches": 1,
+                        "batched_requests": len(items),
+                        "cache_hits": len(ready),
+                        "deduplicated": deduplicated,
+                        "completed": len(ready),
+                    },
+                    {
+                        "batch_size": [len(items)],
+                        "latency_seconds": [now - item.enqueued_at for item, _ in ready],
+                    },
+                )
+                for index, item in enumerate(to_solve):
+                    self._fail(item, exc)
+                    for duplicate in duplicates.get(index, []):
+                        self._fail(duplicate, exc)
+                for item, result in ready:
+                    self._resolve(item, result)
+                return
+        now = time.perf_counter()
+        latencies = []
+        resolved = 0
+        for index, (item, result) in enumerate(zip(to_solve, results)):
+            if item.cache_key is not None:
+                # A cached result must not pin its shard session's
+                # factorization caches past pool eviction; releasing keeps
+                # the lazy diagnostics and costs only attribute rebinds.
+                self.cache.put(item.cache_key, result.release_backing_caches())
+            latencies.append(now - item.enqueued_at)
+            self._resolve(item, result)
+            resolved += 1
+            for duplicate in duplicates.get(index, []):
+                latencies.append(now - duplicate.enqueued_at)
+                self._resolve(duplicate, result)
+                resolved += 1
+        for item, result in ready:
+            latencies.append(now - item.enqueued_at)
+            self._resolve(item, result)
+            resolved += 1
+        self.telemetry.record_batch(
+            {
+                "batches": 1,
+                "batched_requests": len(items),
+                "cache_hits": len(ready),
+                "deduplicated": deduplicated,
+                "completed": resolved,
+            },
+            {"batch_size": [len(items)], "latency_seconds": latencies},
+        )
+
+    def _resolve(self, item: _QueuedItem, result: object) -> None:
+        try:
+            item.future.set_result(result)
+        except InvalidStateError:  # future was cancelled by the caller
+            pass
+        self._settled()
+
+    def _fail(self, item: _QueuedItem, exc: BaseException) -> None:
+        self.telemetry.increment("errors")
+        try:
+            item.future.set_exception(exc)
+        except InvalidStateError:
+            pass
+        self._settled()
+
+    def _cancel(self, item: _QueuedItem) -> None:
+        self.telemetry.increment("cancelled")
+        item.future.cancel()
+        self._settled()
+
+    def _settled(self) -> None:
+        with self._outstanding_cond:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._outstanding_cond.notify_all()

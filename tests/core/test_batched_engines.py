@@ -340,3 +340,81 @@ class TestFitManyBatched:
         deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
         with pytest.raises(ValueError):
             deconvolver.fit_many(measurement_times, np.zeros(measurement_times.size))
+
+
+class TestPerSpeciesLambda:
+    """fit_many accepts one lambda per column (the service layer's bucket merge)."""
+
+    def test_lam_sequence_matches_per_species_fits(
+        self, small_kernel, paper_parameters, species_matrix
+    ):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        lams = [1e-3, 1e-2, 1e-3, 1e-1, 1e-2]
+        batch = deconvolver.fit_many(small_kernel.times, species_matrix, lam=lams)
+        for column, (lam, result) in enumerate(zip(lams, batch)):
+            reference = deconvolver.fit(
+                small_kernel.times, species_matrix[:, column], lam=lam
+            )
+            assert result.lam == lam
+            assert np.max(np.abs(result.coefficients - reference.coefficients)) <= 1e-10
+
+    def test_lam_sequence_none_entries_select_automatically(
+        self, small_kernel, paper_parameters, species_matrix
+    ):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        lams = [1e-3, None, None, 1e-2, None]
+        batch = deconvolver.fit_many(small_kernel.times, species_matrix, lam=lams)
+        for column, (lam, result) in enumerate(zip(lams, batch)):
+            reference = deconvolver.fit(
+                small_kernel.times, species_matrix[:, column], lam=lam
+            )
+            assert result.lam == reference.lam
+            assert np.max(np.abs(result.coefficients - reference.coefficients)) <= 1e-10
+
+    def test_lam_sequence_serial_engine_matches_batch(
+        self, small_kernel, paper_parameters, species_matrix
+    ):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        lams = [1e-3, 1e-2, 1e-3, 1e-2, 1e-3]
+        batch = deconvolver.fit_many(small_kernel.times, species_matrix, lam=lams)
+        serial = deconvolver.fit_many(
+            small_kernel.times, species_matrix, lam=lams, engine="serial",
+            warm_start_chain=False,
+        )
+        for a, b in zip(batch, serial):
+            assert np.max(np.abs(a.coefficients - b.coefficients)) <= 1e-10
+
+    def test_lam_sequence_length_validated(
+        self, small_kernel, paper_parameters, species_matrix
+    ):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        with pytest.raises(ValueError):
+            deconvolver.fit_many(small_kernel.times, species_matrix, lam=[1e-3, 1e-2])
+
+
+class TestBatchedGCVSelection:
+    """The matrix GCV scorer must select exactly like the per-species scorer."""
+
+    def test_selected_lambdas_and_scores_match(self, seeded_problem, species_matrix):
+        from repro.core.lambda_selection import (
+            generalized_cross_validation,
+            generalized_cross_validation_batch,
+        )
+
+        lambdas = default_lambda_grid(11)
+        batch = generalized_cross_validation_batch(seeded_problem, species_matrix, lambdas)
+        for column, selection in enumerate(batch):
+            reference = generalized_cross_validation(
+                seeded_problem.with_measurements(species_matrix[:, column]), lambdas
+            )
+            assert selection.best_lambda == reference.best_lambda
+            for lam, score in reference.scores.items():
+                assert selection.scores[lam] == pytest.approx(score, rel=1e-9)
+
+    def test_rejects_vector_input(self, seeded_problem):
+        from repro.core.lambda_selection import generalized_cross_validation_batch
+
+        with pytest.raises(ValueError):
+            generalized_cross_validation_batch(
+                seeded_problem, seeded_problem.measurements, default_lambda_grid(5)
+            )

@@ -168,3 +168,45 @@ class TestFacadeBehaviour:
         # of order 1e-3 (0.01% of the profile amplitude) can remain.
         assert np.min(constrained.profile(phases)) >= -5e-3
         assert np.min(constrained.profile(phases)) >= np.min(unconstrained.profile(phases)) - 1e-9
+
+
+class TestLazyResultDiagnostics:
+    """Result diagnostics are computed on demand and match the eager values."""
+
+    def test_lazy_fields_match_problem(self, small_kernel, paper_parameters):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        truth = single_pulse_profile(amplitude=1.5, baseline=0.2)
+        values = small_kernel.apply_function(truth)
+        result = deconvolver.fit(small_kernel.times, values, lam=1e-3)
+        problem = deconvolver.build_problem(small_kernel.times, values)
+        assert np.allclose(result.fitted, problem.forward.predict(result.coefficients))
+        assert result.data_misfit == pytest.approx(problem.data_misfit(result.coefficients))
+        assert result.roughness == pytest.approx(problem.roughness(result.coefficients))
+        assert {"equality", "inequality"} <= set(result.constraint_violations)
+        assert np.array_equal(result.sigma, problem.sigma)
+
+    def test_pickle_materializes_and_detaches(self, small_kernel, paper_parameters):
+        import pickle
+
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=10)
+        values = small_kernel.apply_function(single_pulse_profile())
+        result = deconvolver.fit(small_kernel.times, values, lam=1e-3)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone._problem is None
+        assert np.array_equal(clone.fitted, result.fitted)
+        assert clone.data_misfit == result.data_misfit
+        assert clone.constraint_violations == result.constraint_violations
+
+    def test_detached_result_raises_clearly(self, basis12):
+        from repro.core.result import DeconvolutionResult
+
+        bare = DeconvolutionResult(
+            coefficients=np.ones(12),
+            basis=basis12,
+            lam=1e-3,
+            times=np.linspace(0, 1, 5),
+            measurements=np.ones(5),
+        )
+        with pytest.raises(AttributeError):
+            _ = bare.fitted
+        assert bare.constraint_violations == {}

@@ -256,3 +256,46 @@ class TestAssemblyPipeline:
         result = session.fit(grids[0], _measurements(kernels[0]), lam=1e-3)
         assert result.solver_converged
         assert deconvolver.fit_workspace(grids[0]).kernel is kernels[0]
+
+
+class TestSessionStats:
+    def test_stats_counters_track_usage(self, deconvolver, grids, kernels):
+        session = deconvolver.session()
+        session.register_kernel(kernels[0])
+        stats = session.stats()
+        assert stats["grids"] == 1 and stats["workspaces"] == 0
+        assert stats["approx_bytes"] > 0
+        deconvolver.fit(grids[0], _measurements(kernels[0]), lam=1e-3)
+        deconvolver.fit(grids[0], _measurements(kernels[0], 1.2), lam=1e-3)
+        stats = session.stats()
+        assert stats["workspaces"] == 1
+        assert stats["workspace_misses"] == 1
+        assert stats["workspace_hits"] >= 1
+        assert stats["kernel_builds"] == 0  # registered, never built on demand
+        session.submit(grids[0], _measurements(kernels[0], 0.9), lam=1e-3)
+        assert session.stats()["pending"] == 1
+        session.flush()
+        stats = session.stats()
+        assert stats["pending"] == 0
+        assert stats["flushes"] == 1 and stats["fits_flushed"] == 1
+
+    def test_mixed_lambda_submissions_share_a_bucket(self, deconvolver, grids, kernels):
+        session = deconvolver.session()
+        session.register_kernel(kernels[0])
+        values = _measurements(kernels[0])
+        session.submit(grids[0], values, lam=1e-3)
+        session.submit(grids[0], values * 1.1, lam=1e-2)
+        first, second = session._pending
+        assert first.bucket() == second.bucket()
+        results = session.flush()
+        for scale, lam, result in ((1.0, 1e-3, results[0]), (1.1, 1e-2, results[1])):
+            reference = deconvolver.fit(grids[0], values * scale, lam=lam)
+            assert result.lam == reference.lam
+            assert np.max(np.abs(result.coefficients - reference.coefficients)) <= 1e-10
+
+    def test_submit_copy_false_keeps_references(self, deconvolver, grids, kernels):
+        session = deconvolver.session()
+        session.register_kernel(kernels[0])
+        values = _measurements(kernels[0])
+        session.submit(grids[0], values, lam=1e-3, copy=False)
+        assert session._pending[0].measurements is values

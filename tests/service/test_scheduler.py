@@ -1,0 +1,268 @@
+"""Tests for the micro-batching scheduler: equivalence, caching, lifecycle.
+
+The load-bearing guarantee is that the service layer changes *when* and
+*with what company* each request is solved, never the numbers: every
+response must match a direct one-shot ``Deconvolver.fit`` to 1e-10 — under
+concurrent producers, coalescing, dedup, cache hits and drain.
+"""
+
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.deconvolver import Deconvolver
+from repro.data.synthetic import single_pulse_profile
+from repro.service import (
+    FitRequest,
+    MicroBatchScheduler,
+    ResultCache,
+    SessionPool,
+    WorkloadSpec,
+    build_workload,
+    max_coefficient_gap,
+    serial_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def kernels(paper_parameters, small_kernel):
+    from repro.cellcycle.kernel import KernelBuilder
+
+    builder = KernelBuilder(paper_parameters, num_cells=1200, phase_bins=30)
+    second = builder.build(np.linspace(0.0, 120.0, 9), rng=5)
+    return [small_kernel, second]
+
+
+@pytest.fixture()
+def factory(paper_parameters, kernels):
+    def build(_key):
+        deconvolver = Deconvolver(parameters=paper_parameters, num_basis=8)
+        session = deconvolver.session()
+        for kernel in kernels:
+            session.register_kernel(kernel)
+        return deconvolver
+
+    return build
+
+
+@pytest.fixture()
+def workload(kernels):
+    return build_workload(
+        kernels,
+        WorkloadSpec(num_requests=24, repeat_ratio=0.25, selection_fraction=0.15, seed=11),
+    )
+
+
+class TestEquivalence:
+    def test_concurrent_producers_match_serial_fit(self, factory, workload):
+        pool = SessionPool(factory)
+        futures = [None] * len(workload)
+        with MicroBatchScheduler(pool, max_batch=8, max_wait_ms=1.0, workers=2) as scheduler:
+
+            def produce(offset):
+                for index in range(offset, len(workload), 4):
+                    futures[index] = scheduler.submit(workload[index])
+
+            threads = [threading.Thread(target=produce, args=(offset,)) for offset in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [future.result() for future in futures]
+            snapshot = scheduler.telemetry.snapshot()
+        references = serial_reference(factory("reference"), workload)
+        assert max_coefficient_gap(results, references) <= 1e-10
+        # Selections must agree exactly, not just approximately.
+        assert [r.lam for r in results] == [r.lam for r in references]
+        assert snapshot["counters"]["completed"] == len(workload)
+
+    def test_map_preserves_input_order_and_coalesces(self, factory, workload):
+        pool = SessionPool(factory)
+        with MicroBatchScheduler(pool, max_batch=32, max_wait_ms=0.5) as scheduler:
+            results = scheduler.map(workload)
+            snapshot = scheduler.telemetry.snapshot()
+        references = serial_reference(factory("reference"), workload)
+        for result, reference in zip(results, references):
+            assert np.max(np.abs(result.coefficients - reference.coefficients)) <= 1e-10
+        assert snapshot["counters"]["batches"] < len(workload)
+        assert snapshot["coalescing_factor"] > 1.0
+
+    def test_mixed_lambda_requests_share_one_batch(self, factory, kernels):
+        values = kernels[0].apply_function(single_pulse_profile())
+        requests = [
+            FitRequest(times=kernels[0].times.copy(), measurements=values * scale, lam=lam)
+            for scale, lam in ((1.0, 1e-3), (1.1, 1e-2), (1.2, 1e-3))
+        ]
+        pool = SessionPool(factory)
+        with MicroBatchScheduler(pool, max_batch=8, max_wait_ms=5.0) as scheduler:
+            results = scheduler.map(requests)
+            snapshot = scheduler.telemetry.snapshot()
+        # One (grid, sigma) bucket despite two lambda values.
+        assert snapshot["counters"]["batches"] == 1
+        reference = factory("reference")
+        for request, result in zip(requests, results):
+            expected = reference.fit(request.times, request.measurements, lam=request.lam)
+            assert np.max(np.abs(result.coefficients - expected.coefficients)) <= 1e-10
+            assert result.lam == expected.lam
+
+
+class TestCacheAndDedup:
+    def test_cache_hit_short_circuits_resolved_future(self, factory, workload):
+        pool = SessionPool(factory)
+        with MicroBatchScheduler(pool, max_batch=8, max_wait_ms=0.5) as scheduler:
+            first = scheduler.submit(workload[0]).result()
+            batches_before = scheduler.telemetry.counter("batches")
+            repeat = FitRequest(
+                times=workload[0].times.copy(),
+                measurements=workload[0].measurements.copy(),
+                lam=workload[0].lam,
+            )
+            future = scheduler.submit(repeat)
+            # Resolved synchronously from the cache: no queueing, no batch.
+            assert future.done()
+            assert scheduler.telemetry.counter("cache_hits") == 1
+            assert scheduler.telemetry.counter("batches") == batches_before
+            assert np.array_equal(future.result().coefficients, first.coefficients)
+
+    def test_in_batch_dedup_solves_repeats_once(self, factory, workload):
+        pool = SessionPool(factory)
+        request = workload[0]
+        repeat = FitRequest(
+            times=request.times.copy(),
+            measurements=request.measurements.copy(),
+            lam=request.lam,
+        )
+        with MicroBatchScheduler(pool, max_batch=8, max_wait_ms=5.0) as scheduler:
+            results = scheduler.map([request, repeat])
+            assert scheduler.telemetry.counter("deduplicated") == 1
+        assert np.array_equal(results[0].coefficients, results[1].coefficients)
+
+    def test_disabled_cache_still_correct(self, factory, workload):
+        pool = SessionPool(factory)
+        with MicroBatchScheduler(pool, cache=ResultCache(0), max_wait_ms=0.5) as scheduler:
+            results = scheduler.map(workload[:6])
+            assert scheduler.telemetry.counter("cache_hits") == 0
+        references = serial_reference(factory("reference"), workload[:6])
+        assert max_coefficient_gap(results, references) <= 1e-10
+
+
+class TestLifecycle:
+    def test_shutdown_drains_nonempty_queue(self, factory, workload):
+        pool = SessionPool(factory)
+        # A very long batching window: nothing dispatches on its own, so the
+        # queue is guaranteed non-empty when shutdown arrives.
+        scheduler = MicroBatchScheduler(pool, max_batch=64, max_wait_ms=60_000.0)
+        futures = [scheduler.submit(request) for request in workload[:5]]
+        scheduler.shutdown(drain=True)
+        results = [future.result(timeout=0) for future in futures]
+        references = serial_reference(factory("reference"), workload[:5])
+        assert max_coefficient_gap(results, references) <= 1e-10
+
+    def test_shutdown_discard_cancels_pending(self, factory, workload):
+        pool = SessionPool(factory)
+        scheduler = MicroBatchScheduler(pool, max_batch=64, max_wait_ms=60_000.0)
+        futures = [scheduler.submit(request) for request in workload[:3]]
+        scheduler.shutdown(drain=False)
+        assert all(future.cancelled() for future in futures)
+        assert scheduler.telemetry.counter("cancelled") == 3
+
+    def test_submit_after_shutdown_raises(self, factory, workload):
+        scheduler = MicroBatchScheduler(SessionPool(factory))
+        scheduler.submit(workload[0]).result()  # populate the cache
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(workload[0])  # cached content must not bypass
+        with pytest.raises(RuntimeError):
+            scheduler.submit_many([workload[1]])
+        scheduler.shutdown()  # idempotent
+
+    def test_backpressure_timeout(self, factory, workload):
+        pool = SessionPool(factory)
+        scheduler = MicroBatchScheduler(pool, max_batch=1, max_queue=1, max_wait_ms=60_000.0)
+        # Stall the pipeline deterministically: holding the shard-queue lock
+        # blocks the batcher inside its first dispatch, so the one-slot
+        # intake queue stays full and the third submit hits the bound.
+        scheduler._shard_lock.acquire()
+        try:
+            futures = [scheduler.submit(workload[0])]
+            deadline = time.perf_counter() + 5.0
+            while scheduler._queue.qsize() > 0 and time.perf_counter() < deadline:
+                time.sleep(0.001)  # batcher takes the first item, then blocks
+            futures.append(scheduler.submit(workload[1]))  # fills the slot
+            with pytest.raises(queue.Full):
+                scheduler.submit(workload[2], timeout=0.05)
+        finally:
+            scheduler._shard_lock.release()
+        scheduler.shutdown(drain=True)
+        assert all(future.done() and not future.cancelled() for future in futures)
+
+    def test_solver_errors_propagate_to_futures(self, factory, kernels):
+        pool = SessionPool(factory)
+        bad = FitRequest(
+            times=kernels[0].times.copy(),
+            measurements=np.ones(kernels[0].times.size + 3),  # wrong length
+            lam=1e-3,
+        )
+        with MicroBatchScheduler(pool, max_wait_ms=0.5) as scheduler:
+            future = scheduler.submit(bad)
+            with pytest.raises(Exception):
+                future.result(timeout=10)
+            assert scheduler.telemetry.counter("errors") == 1
+
+    def test_validation(self, factory):
+        pool = SessionPool(factory)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(pool, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(pool, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(pool, max_queue=0)
+
+    def test_stats_shape(self, factory, workload):
+        with MicroBatchScheduler(SessionPool(factory), max_wait_ms=0.5) as scheduler:
+            scheduler.map(workload[:4])
+            stats = scheduler.stats()
+        assert {"queued", "outstanding", "workers", "pool", "cache", "telemetry"} <= set(stats)
+        assert stats["outstanding"] == 0
+
+
+class TestReviewRegressions:
+    def test_generator_seeded_requests_do_not_coalesce_or_cache_alias(self, factory, kernels):
+        values = kernels[0].apply_function(single_pulse_profile())
+        one = FitRequest(
+            times=kernels[0].times.copy(), measurements=values.copy(),
+            lambda_method="kfold", rng=np.random.default_rng(1),
+        )
+        two = FitRequest(
+            times=kernels[0].times.copy(), measurements=values.copy(),
+            lambda_method="kfold", rng=np.random.default_rng(2),
+        )
+        assert one.batch_key() != two.batch_key()
+        assert one.fingerprint() != two.fingerprint()
+
+    def test_batch_key_matches_session_bucket(self, kernels):
+        from repro.core.session import fit_options_bucket
+
+        request = FitRequest(times=kernels[0].times.copy(), measurements=np.ones(13), lam=1e-3)
+        assert request.batch_key()[2:] == fit_options_bucket(
+            request.times, None, 1e-3, "gcv", None
+        )
+
+    def test_cached_results_release_solver_caches(self, factory, workload):
+        pool = SessionPool(factory)
+        with MicroBatchScheduler(pool, max_wait_ms=0.5) as scheduler:
+            returned = scheduler.submit(workload[0]).result()
+            (cached,) = scheduler.cache._entries.values()
+        # The cached result no longer pins the shard's factorizations ...
+        assert cached._problem._hessians == {}
+        assert cached._problem._workspaces == {}
+        assert cached._problem._selection_caches == {}
+        # ... but its lazy diagnostics still work and match a direct fit.
+        reference = factory("reference").fit(
+            workload[0].times, workload[0].measurements, lam=workload[0].lam
+        )
+        assert cached.data_misfit == pytest.approx(reference.data_misfit, rel=1e-10)
+        assert np.allclose(returned.fitted, reference.fitted)

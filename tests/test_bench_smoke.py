@@ -35,6 +35,7 @@ EXPECTED_STAGES = {
     "fit_many_kfold",
     "session_multi_grid",
     "fit_stream",
+    "service_throughput",
 }
 
 

@@ -99,3 +99,17 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure9"])
+
+
+class TestServeBenchCLI:
+    def test_serve_bench_command_runs_and_verifies(self, capsys):
+        exit_code = main([
+            "serve-bench", "--requests", "12", "--cells", "600", "--grids", "1",
+            "--max-wait-ms", "1.0", "--verbose",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "coalescing factor" in captured.out
+        assert "p95 latency ms" in captured.out
+        assert "session 'default'" in captured.out
+        assert "ok: every scheduler response matches its one-shot fit to 1e-10" in captured.out
