@@ -130,6 +130,30 @@ PR4_BASELINE_SECONDS = {
     "service_throughput": 4.792e-2,
 }
 
+# Timings of the PR 5 service-runtime tree at the default sizes (same
+# machine): the values of PR 5's committed BENCH_solvepath.json.  They
+# anchor the ``speedup_vs_pr5`` column — in this PR chiefly a *regression*
+# guard: the SLO admission control, adaptive batching window and breaker
+# bookkeeping added to the scheduler must keep ``service_throughput`` within
+# a few percent of the PR 5 happy path (no ``service_slo`` entry: PR 5 had
+# no deadline/priority machinery to time).
+PR5_BASELINE_SECONDS = {
+    "qp_solve": 3.383e-5,
+    "qp_solve_warm": 2.670e-5,
+    "qp_solve_batch": 1.324e-4,
+    "problem_assembly_cold": 2.145e-3,
+    "problem_assembly_warm": 3.487e-4,
+    "lambda_gcv": 1.666e-4,
+    "lambda_kfold": 8.700e-4,
+    "bootstrap": 1.516e-3,
+    "kernel_build": 3.787e-3,
+    "fit_many_gcv": 1.413e-3,
+    "fit_many_kfold": 9.490e-3,
+    "session_multi_grid": 1.245e-3,
+    "fit_stream": 7.192e-4,
+    "service_throughput": 9.532e-3,
+}
+
 DEFAULT_CONFIG = {
     "num_cells": 6000,
     "phase_bins": 80,
@@ -240,6 +264,13 @@ def run_solvepath_benchmark(
       carries the serial one-request-at-a-time reference timing, the
       speedup, the coalescing factor, p95 latency and the verified maximum
       coefficient gap against direct fits.
+    * ``service_slo`` -- the same request count reshaped by the ``hotkey``
+      chaos scenario (traffic sharded over four pool configurations with one
+      taking ~90%, half the requests carrying deadlines, mixed priorities)
+      through the SLO-aware scheduler.  The report's ``service_slo`` section
+      carries the shed rate, deadline-miss rate, p95 latency and the SLO
+      verdict — the cost and behaviour of the admission-control machinery
+      under skewed traffic.
     """
     from repro.cellcycle.kernel import KernelBuilder
     from repro.cellcycle.parameters import CellCycleParameters
@@ -489,6 +520,44 @@ def run_solvepath_benchmark(
         "max_coefficient_gap": service_gap,
     }
 
+    # Service SLO: the hotkey chaos scenario (sharded traffic, one hot
+    # shard, deadlines and priorities on half the requests) through the
+    # SLO-aware scheduler.  Futures resolving with typed shed/deadline
+    # errors are part of the contract, so the timed loop waits on
+    # ``exception()`` instead of ``result()``.
+    from repro.service.loadgen import SCENARIOS, apply_scenario, evaluate_slo
+
+    slo_scenario = SCENARIOS["hotkey"]
+    slo_workload = apply_scenario(workload, slo_scenario, seed=23)
+    slo_scheduler = MicroBatchScheduler(
+        SessionPool(service_factory), max_batch=64, max_wait_ms=0.2, workers=2
+    )
+
+    def run_service_slo() -> None:
+        slo_scheduler.cache.clear()
+        for future in slo_scheduler.submit_many(slo_workload):
+            future.exception()
+
+    run_service_slo()  # warm every shard the skewed traffic addresses
+    stages["service_slo"] = _time(run_service_slo, repeats)
+    slo_scheduler.cache.clear()
+    slo_scheduler.telemetry.reset()
+    run_service_slo()
+    slo_snapshot = slo_scheduler.telemetry.snapshot()
+    slo_scheduler.shutdown()
+    slo_verdict = evaluate_slo(slo_snapshot, slo_scenario.slo)
+    slo_report = {
+        "scenario": slo_scenario.name,
+        "requests": len(slo_workload),
+        "shed_rate": round(slo_snapshot["shed_rate"], 4),
+        "deadline_miss_rate": round(slo_snapshot["deadline_miss_rate"], 4),
+        "p95_latency_ms": round(
+            slo_snapshot["histograms"]["latency_seconds"]["p95"] * 1e3, 3
+        ),
+        "errors": slo_snapshot["counters"].get("errors", 0),
+        "slo_passed": bool(slo_verdict["passed"]),
+    }
+
     config = {
         "num_cells": int(num_cells),
         "phase_bins": int(phase_bins),
@@ -519,6 +588,7 @@ def run_solvepath_benchmark(
         "config": config,
         "stages_seconds": stages,
         "service": service_report,
+        "service_slo": slo_report,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS if is_default else None,
         "speedup_vs_seed": baseline_speedups(SEED_BASELINE_SECONDS),
         "pr1_baseline_seconds": PR1_BASELINE_SECONDS if is_default else None,
@@ -529,6 +599,8 @@ def run_solvepath_benchmark(
         "speedup_vs_pr3": baseline_speedups(PR3_BASELINE_SECONDS),
         "pr4_baseline_seconds": PR4_BASELINE_SECONDS if is_default else None,
         "speedup_vs_pr4": baseline_speedups(PR4_BASELINE_SECONDS),
+        "pr5_baseline_seconds": PR5_BASELINE_SECONDS if is_default else None,
+        "speedup_vs_pr5": baseline_speedups(PR5_BASELINE_SECONDS),
         "platform": platform.platform(),
     }
 
@@ -548,6 +620,7 @@ def format_report(report: dict) -> str:
     pr2_speedups = report.get("speedup_vs_pr2") or {}
     pr3_speedups = report.get("speedup_vs_pr3") or {}
     pr4_speedups = report.get("speedup_vs_pr4") or {}
+    pr5_speedups = report.get("speedup_vs_pr5") or {}
     for stage, seconds in sorted(report["stages_seconds"].items()):
         line = f"  {stage:22s} {seconds * 1e3:10.3f} ms"
         if stage in seed_speedups:
@@ -560,6 +633,8 @@ def format_report(report: dict) -> str:
             line += f"   ({pr3_speedups[stage]:.1f}x vs PR3)"
         if stage in pr4_speedups:
             line += f"   ({pr4_speedups[stage]:.1f}x vs PR4)"
+        if stage in pr5_speedups:
+            line += f"   ({pr5_speedups[stage]:.1f}x vs PR5)"
         lines.append(line)
     service = report.get("service")
     if service:
@@ -567,6 +642,15 @@ def format_report(report: dict) -> str:
             "  service: {requests} requests, {speedup_vs_serial:.2f}x vs one-at-a-time "
             "({throughput_rps:.0f} rps, coalescing {coalescing_factor:.1f}, "
             "p95 {p95_latency_ms:.2f} ms, max gap {max_coefficient_gap:.1e})".format(**service)
+        )
+    slo = report.get("service_slo")
+    if slo:
+        lines.append(
+            "  service_slo ({scenario}): {requests} requests, shed {shed_rate:.1%}, "
+            "deadline misses {deadline_miss_rate:.1%}, p95 {p95_latency_ms:.2f} ms, "
+            "SLO {verdict}".format(
+                verdict="pass" if slo["slo_passed"] else "FAIL", **slo
+            )
         )
     return "\n".join(lines)
 

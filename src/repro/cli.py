@@ -103,6 +103,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=64, help="scheduler batch size bound")
     serve.add_argument("--max-wait-ms", type=float, default=0.2, help="scheduler batching window")
     serve.add_argument("--workers", type=int, default=2, help="scheduler worker threads")
+    serve.add_argument(
+        "--scenario",
+        choices=["all", "steady", "bursty", "heavy_tail", "hotkey", "cache_hostile"],
+        default=None,
+        help="run the chaos scenario suite (deadlines, priorities, skew) instead of "
+             "the plain throughput benchmark; 'all' runs every scenario",
+    )
+    serve.add_argument("--faults", action="store_true",
+                       help="arm each scenario's seeded fault plan (solver errors, slow "
+                            "solves, build failures, cache evictions)")
     serve.add_argument("--verbose", action="store_true",
                        help="also print pool / session / cache / telemetry stats")
     return parser
@@ -242,6 +252,9 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             session.register_kernel(kernel)
         return deconvolver
 
+    if args.scenario is not None:
+        return _run_serve_scenarios(args, kernels, factory)
+
     spec = WorkloadSpec(
         num_requests=args.requests,
         repeat_ratio=args.repeat_ratio,
@@ -305,6 +318,138 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         print(f"FAILED: scheduler responses deviate from direct fits by {gap:.2e} (> 1e-10)")
         return 1
     print("ok: every scheduler response matches its one-shot fit to 1e-10")
+    return 0
+
+
+def _run_serve_scenarios(args: argparse.Namespace, kernels, factory) -> int:
+    """Run the chaos scenario suite: SLO-shaped traffic, optional faults.
+
+    Every accepted request must terminate (result, shed, deadline miss or a
+    typed error — zero hung futures) and every solved response must match
+    the one-shot serial reference to 1e-10; the per-scenario SLO verdict is
+    reported alongside.  Exit code 1 on a hang or a bit-exactness gap.
+    """
+    import concurrent.futures
+    import time
+
+    from repro.service import (
+        SCENARIOS,
+        DeadlineExceeded,
+        FaultPlan,
+        MicroBatchScheduler,
+        RequestShed,
+        SessionPool,
+        WorkloadSpec,
+        max_coefficient_gap,
+        serial_reference,
+    )
+    from repro.service.loadgen import (
+        apply_scenario,
+        arrival_offsets,
+        build_workload,
+        evaluate_slo,
+    )
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    reference = factory("serial-reference")
+    rows = []
+    worst_gap = 0.0
+    hung_total = 0
+    failed_slos = []
+    for name in names:
+        scenario = SCENARIOS[name]
+        print(f"scenario {name}: {scenario.description}")
+        spec = WorkloadSpec(
+            num_requests=args.requests,
+            repeat_ratio=(
+                scenario.repeat_ratio
+                if scenario.repeat_ratio is not None
+                else args.repeat_ratio
+            ),
+            selection_fraction=args.selection_fraction,
+            seed=args.seed,
+        )
+        workload = apply_scenario(
+            build_workload(kernels, spec), scenario, seed=args.seed
+        )
+        offsets = arrival_offsets(scenario, len(workload), seed=args.seed)
+        plan = FaultPlan(scenario.faults) if args.faults else None
+        pool = SessionPool(plan.wrap_factory(factory) if plan is not None else factory)
+        with MicroBatchScheduler(
+            pool,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            workers=args.workers,
+            fault_plan=plan,
+        ) as scheduler:
+            start = time.perf_counter()
+            futures = []
+            for offset, request in zip(offsets, workload):
+                delay = float(offset) - (time.perf_counter() - start)
+                if delay > 0.0:
+                    time.sleep(delay)
+                futures.append(scheduler.submit(request))
+            done, hung = concurrent.futures.wait(futures, timeout=300.0)
+            snapshot = scheduler.telemetry.snapshot()
+            if args.verbose and plan is not None:
+                print(f"  injected faults: {plan.stats()['injected']}")
+        solved = []
+        shed = missed = errors = 0
+        for index, future in enumerate(futures):
+            if future in hung:
+                continue
+            exc = future.exception()
+            if exc is None:
+                solved.append((index, future.result()))
+            elif isinstance(exc, RequestShed):
+                shed += 1
+            elif isinstance(exc, DeadlineExceeded):
+                missed += 1
+            else:
+                errors += 1
+        gap = 0.0
+        if solved:
+            references = serial_reference(
+                reference, [workload[index] for index, _ in solved]
+            )
+            gap = max_coefficient_gap([result for _, result in solved], references)
+        worst_gap = max(worst_gap, gap)
+        hung_total += len(hung)
+        verdict = evaluate_slo(snapshot, scenario.slo)
+        if not verdict["passed"]:
+            failed_slos.append(name)
+        latency = snapshot["histograms"].get("latency_seconds", {"p95": 0.0})
+        rows.append([
+            name,
+            float(len(workload)),
+            float(len(solved)),
+            float(shed),
+            float(missed),
+            float(errors),
+            float(len(hung)),
+            latency["p95"] * 1e3,
+            gap,
+            1.0 if verdict["passed"] else 0.0,
+        ])
+        if args.verbose:
+            for criterion, (observed, limit, ok) in verdict["checks"].items():
+                marker = "ok" if ok else "FAIL"
+                print(f"  {criterion}: {observed:.4g} (limit {limit:.4g}) {marker}")
+    print(format_table(
+        ["scenario", "requests", "solved", "shed", "missed", "errors",
+         "hung", "p95 ms", "max gap", "SLO pass"],
+        rows,
+    ))
+    if hung_total:
+        print(f"FAILED: {hung_total} future(s) never terminated")
+        return 1
+    if worst_gap > 1e-10:
+        print(f"FAILED: solved responses deviate from direct fits by {worst_gap:.2e} (> 1e-10)")
+        return 1
+    if failed_slos:
+        print(f"SLO violations in: {', '.join(failed_slos)} (see table)")
+    print("ok: every request terminated; every solved response matches its "
+          "one-shot fit to 1e-10")
     return 0
 
 

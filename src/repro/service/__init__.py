@@ -12,8 +12,14 @@ long-lived runtime for concurrent deconvolution traffic:
   cache answering bit-exact repeats in O(lookup);
 * :class:`~repro.service.telemetry.Telemetry` — counters plus latency and
   batch-size histograms with a ``snapshot()`` dict;
+* :mod:`~repro.service.errors` — the typed error taxonomy every accepted
+  request terminates in (shed, deadline-missed, crashed, overflowed);
+* :mod:`~repro.service.robustness` — retry policy, per-shard circuit
+  breaker and the adaptive micro-batching window;
+* :mod:`~repro.service.faults` — deterministic seeded fault injection
+  behind the solve/build/cache boundaries for the chaos scenario suite;
 * :mod:`~repro.service.loadgen` — deterministic seeded workload generation
-  for benchmarks and ``repro serve-bench``.
+  and chaos scenarios for benchmarks and ``repro serve-bench``.
 
 Responses are bit-identical (to 1e-10) to direct
 :meth:`~repro.core.deconvolver.Deconvolver.fit` calls; the service layer
@@ -21,7 +27,17 @@ only changes *when* and *together with what* each request is solved.
 """
 
 from repro.service.cache import ResultCache, request_fingerprint
+from repro.service.errors import (
+    DeadlineExceeded,
+    IntakeOverflow,
+    RequestShed,
+    SchedulerCrashed,
+    ServiceError,
+)
+from repro.service.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.service.loadgen import (
+    SCENARIOS,
+    Scenario,
     WorkloadSpec,
     build_workload,
     max_coefficient_gap,
@@ -29,16 +45,30 @@ from repro.service.loadgen import (
     warm_serial_reference,
 )
 from repro.service.pool import PoolEntry, SessionPool
+from repro.service.robustness import AdaptiveWindow, CircuitBreaker, RetryPolicy
 from repro.service.scheduler import DEFAULT_CONFIG_KEY, FitRequest, MicroBatchScheduler
 from repro.service.telemetry import Histogram, Telemetry
 
 __all__ = [
     "DEFAULT_CONFIG_KEY",
+    "SCENARIOS",
+    "AdaptiveWindow",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
     "FitRequest",
     "Histogram",
+    "InjectedFault",
+    "IntakeOverflow",
     "MicroBatchScheduler",
     "PoolEntry",
+    "RequestShed",
     "ResultCache",
+    "RetryPolicy",
+    "Scenario",
+    "SchedulerCrashed",
+    "ServiceError",
     "SessionPool",
     "Telemetry",
     "WorkloadSpec",

@@ -151,6 +151,27 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def evict_random(self, count: int, rng=None) -> int:
+        """Evict up to ``count`` entries chosen by ``rng``; returns how many.
+
+        The fault-injection harness uses this to model cache-hostile
+        conditions (cold restarts, pressure evictions) deterministically:
+        with a seeded generator the same keys disappear run to run.  Counts
+        toward the ``evictions`` counter.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = np.random.default_rng(rng)
+        with self._lock:
+            keys = list(self._entries)
+            if not keys:
+                return 0
+            victims = rng.choice(len(keys), size=min(count, len(keys)), replace=False)
+            for index in victims:
+                del self._entries[keys[int(index)]]
+            self.evictions += len(victims)
+            return len(victims)
+
     def stats(self) -> dict:
         """Entry count, budget and hit/miss/eviction counters."""
         with self._lock:

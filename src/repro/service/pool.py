@@ -80,6 +80,7 @@ class SessionPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.build_failures = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -117,6 +118,21 @@ class SessionPool:
             del self._entries[victim_key]
             self.evictions += 1
 
+    def acquire(self, key: Hashable) -> PoolEntry:
+        """Lease the shard for ``key`` without a context manager.
+
+        The imperative twin of :meth:`lease` for callers that need to retry
+        the build (the scheduler's transient-failure path): the returned
+        entry's lease count is raised and the caller MUST pair this with
+        :meth:`release`.  Factory failures propagate (and count in
+        ``build_failures``) without registering an entry.
+        """
+        return self._acquire(key)
+
+    def release(self, entry: PoolEntry) -> None:
+        """Return a lease taken with :meth:`acquire`."""
+        self._release(entry)
+
     def _acquire(self, key: Hashable) -> PoolEntry:
         with self._lock:
             entry = self._entries.get(key)
@@ -128,7 +144,12 @@ class SessionPool:
             self.misses += 1
         # Build outside the pool lock: factories run Monte-Carlo kernel
         # builds and must not serialize unrelated shards.
-        deconvolver = self._factory(key)
+        try:
+            deconvolver = self._factory(key)
+        except BaseException:
+            with self._lock:
+                self.build_failures += 1
+            raise
         built = PoolEntry(key, deconvolver)
         with self._lock:
             entry = self._entries.get(key)
@@ -177,6 +198,7 @@ class SessionPool:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "build_failures": self.build_failures,
                 "total_bytes": sum(e.session.approx_bytes() for _, e in entries),
                 "sessions": {repr(key): e.session.stats() for key, e in entries},
             }

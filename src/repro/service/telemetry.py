@@ -82,8 +82,14 @@ class Telemetry:
       sharing one solve row inside a batch), ``batches`` (dispatched),
       ``batched_requests`` (requests routed through batches), ``errors``,
       ``cancelled``;
+    * SLO / robustness counters — ``shed`` (early-rejected at admission),
+      ``deadline_missed`` (dropped stale before solving), ``retries``
+      (transient solve failures retried), ``breaker_trips`` (circuit
+      breakers opening), ``degraded_requests`` (served by the degraded
+      serial path), ``scheduler_crashes``;
     * histograms — ``latency_seconds`` (submit to result, cache hits
-      included), ``batch_size``.
+      included), ``batch_size``, ``solve_seconds`` (per-batch solve
+      duration feeding the adaptive window).
     """
 
     def __init__(self) -> None:
@@ -173,9 +179,12 @@ class Telemetry:
         dict
             ``counters`` (name to int), ``histograms`` (name to
             :meth:`Histogram.summary`), ``elapsed_seconds``,
-            ``throughput_rps`` (completed requests over the event span) and
+            ``throughput_rps`` (completed requests over the event span),
             ``coalescing_factor`` (batched requests per dispatched batch;
-            1.0 when nothing was batched yet).
+            1.0 when nothing was batched yet), and the SLO rates
+            ``shed_rate`` / ``deadline_miss_rate`` (shed and
+            deadline-missed requests over accepted requests; 0.0 before any
+            request).
         """
         with self._lock:
             counters = dict(self._counters)
@@ -187,10 +196,15 @@ class Telemetry:
         batches = counters.get("batches", 0)
         batched = counters.get("batched_requests", 0)
         completed = counters.get("completed", 0)
+        requests = counters.get("requests", 0)
         return {
             "counters": counters,
             "histograms": histograms,
             "elapsed_seconds": elapsed,
             "throughput_rps": (completed / elapsed) if elapsed > 0 else 0.0,
             "coalescing_factor": (batched / batches) if batches > 0 else 1.0,
+            "shed_rate": (counters.get("shed", 0) / requests) if requests else 0.0,
+            "deadline_miss_rate": (
+                counters.get("deadline_missed", 0) / requests if requests else 0.0
+            ),
         }

@@ -36,6 +36,7 @@ EXPECTED_STAGES = {
     "session_multi_grid",
     "fit_stream",
     "service_throughput",
+    "service_slo",
 }
 
 
@@ -47,6 +48,15 @@ def smoke_report():
 def test_smoke_report_has_all_stages(smoke_report):
     assert set(smoke_report["stages_seconds"]) == EXPECTED_STAGES
     assert all(seconds > 0.0 for seconds in smoke_report["stages_seconds"].values())
+
+
+def test_service_slo_section_shape(smoke_report):
+    slo = smoke_report["service_slo"]
+    assert slo["scenario"] == "hotkey"
+    assert slo["requests"] == SMOKE_CONFIG["num_service"]
+    assert 0.0 <= slo["shed_rate"] <= 1.0
+    assert 0.0 <= slo["deadline_miss_rate"] <= 1.0
+    assert isinstance(slo["slo_passed"], bool)
 
 
 def test_smoke_config_recorded(smoke_report):
