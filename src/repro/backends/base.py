@@ -1,0 +1,222 @@
+"""Abstract interface of a kernel backend.
+
+A :class:`KernelBackend` bundles the hot inner loops of the package — the
+fused Horner volume pass, uniform binning, kernel-row smoothing, the
+constraint-quadrature reductions and the batch-solve packaging — behind one
+object so alternative implementations (the pure-numpy reference, a
+Numba-compiled backend, a future GPU/float32 bulk path) can be swapped at
+import/config time or per call.
+
+Every method is a pure function of its arguments (no backend state), and the
+contract for *every* backend is numerical agreement with the numpy reference
+to machine precision (``<= 1e-12`` elementwise; integer outputs must match
+exactly).  That contract is enforced by ``tests/backends/test_equivalence.py``
+and by the two-backend CI matrix running the whole tier-1 suite under each
+backend.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class KernelBackend(abc.ABC):
+    """Set of hot-path kernel implementations selected via ``repro.backends``.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the backend (``"numpy"``, ``"numba"``).
+    compiled:
+        Whether the backend JIT/AOT-compiles its kernels.  Compiled backends
+        may be unavailable at runtime (missing optional dependency); the
+        dispatch layer then falls back to the numpy reference.
+    """
+
+    name: str = "abstract"
+    compiled: bool = False
+
+    @abc.abstractmethod
+    def smooth_volume_into(
+        self,
+        phi: np.ndarray,
+        transition: np.ndarray,
+        cell_indices: np.ndarray,
+        late_base: np.ndarray,
+        linear: np.ndarray,
+        quad: np.ndarray,
+        cubic: np.ndarray,
+        v0: float,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Fused piecewise-Horner volume evaluation into ``out``.
+
+        Evaluates the smooth volume model (eq. 11) for (phase, cell) pairs:
+        ``0.4 + linear phi + quad phi^2 + cubic phi^3`` before the per-cell
+        transition phase and ``late_base + linear phi`` after it, everything
+        scaled by ``v0``.  Inputs are assumed validated (phases in
+        ``[0, 1]``, transitions strictly inside ``(0, 1)``).
+
+        Parameters
+        ----------
+        phi:
+            Pair phases, shape ``(P,)``.
+        transition:
+            Per-cell transition phases, shape ``(C,)``.
+        cell_indices:
+            Cell index of each pair, shape ``(P,)``.
+        late_base, linear, quad, cubic:
+            Per-cell polynomial coefficients, each shape ``(C,)``.
+        v0:
+            Pre-division volume scale.
+        out:
+            Output buffer, shape ``(P,)``; written in place and returned.
+        """
+
+    @abc.abstractmethod
+    def uniform_bin_indices(self, values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        """Bin index of each value in a uniform-edge grid.
+
+        Matches ``searchsorted(edges, values, "right") - 1`` clipped to the
+        valid range (left-closed bins, last bin right-closed, as in
+        ``np.histogram``) via direct index arithmetic with a +/-1 boundary
+        fix-up.
+
+        Parameters
+        ----------
+        values:
+            Values to bin, shape ``(P,)``.
+        edges:
+            Uniform bin edges, shape ``(nb + 1,)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer bin indices, shape ``(P,)``, dtype ``intp``.
+        """
+
+    @abc.abstractmethod
+    def weighted_bincount(
+        self, keys: np.ndarray, weights: np.ndarray, minlength: int
+    ) -> np.ndarray:
+        """Sum ``weights`` into ``minlength`` buckets addressed by ``keys``.
+
+        Equivalent to ``np.bincount(keys, weights=weights,
+        minlength=minlength)`` (weights accumulated in key-occurrence
+        order).
+
+        Parameters
+        ----------
+        keys:
+            Non-negative integer bucket index per weight, shape ``(P,)``.
+        weights:
+            Values to accumulate, shape ``(P,)``.
+        minlength:
+            Number of output buckets (no key may reach it).
+        """
+
+    @abc.abstractmethod
+    def smooth_rows(
+        self, rows: np.ndarray, widths: np.ndarray, window: int
+    ) -> np.ndarray:
+        """Edge-padded moving-average smoothing of kernel rows.
+
+        Sliding-sum moving average of width ``window`` (odd, ``>= 3``) per
+        row, then per-row renormalisation so each smoothed row keeps its
+        integral against ``widths``; rows whose smoothed integral
+        degenerates to zero are returned unsmoothed.
+
+        Parameters
+        ----------
+        rows:
+            Kernel rows, shape ``(R, nb)``; not modified.
+        widths:
+            Bin widths, shape ``(nb,)``.
+        window:
+            Odd moving-average width in bins, at least 3.
+
+        Returns
+        -------
+        numpy.ndarray
+            Smoothed rows, shape ``(R, nb)`` (a new array).
+        """
+
+    @abc.abstractmethod
+    def weighted_dot(
+        self, weights: np.ndarray, density: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        """Quadrature reduction ``(weights * density) @ matrix``.
+
+        The constraint-assembly inner loop: integrate every basis column of
+        ``matrix`` against a density with quadrature ``weights``.
+
+        Parameters
+        ----------
+        weights:
+            Quadrature weights, shape ``(G,)``.
+        density:
+            Density values on the grid, shape ``(G,)``.
+        matrix:
+            Basis (or derivative) table, shape ``(G, Nc)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integrals per column, shape ``(Nc,)``.
+        """
+
+    @abc.abstractmethod
+    def partition_accepted(
+        self,
+        solutions: np.ndarray,
+        rows: np.ndarray,
+        candidates: np.ndarray,
+        accepted: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter accepted batch candidates into the solution matrix.
+
+        The packaging step of the stacked multi-RHS QP solve: candidate rows
+        that passed KKT verification are written into ``solutions`` at their
+        problem row, and the accepted/pending split is returned (order
+        preserved).
+
+        Parameters
+        ----------
+        solutions:
+            Solution matrix, shape ``(num_problems, n)``; written in place.
+        rows:
+            Problem row index per candidate, shape ``(B,)``.
+        candidates:
+            Candidate solutions, shape ``(B, n)``.
+        accepted:
+            Boolean verification mask, shape ``(B,)``.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, numpy.ndarray]
+            ``(accepted_rows, pending_rows)``: the problem rows written and
+            the rows still pending, both in input order.
+        """
+
+    @abc.abstractmethod
+    def batch_objectives(
+        self, solutions: np.ndarray, hessian: np.ndarray, gradients: np.ndarray
+    ) -> np.ndarray:
+        """Objective values ``0.5 x^T H x + g^T x`` for stacked solutions.
+
+        Parameters
+        ----------
+        solutions:
+            Solutions, shape ``(B, n)``.
+        hessian:
+            Shared Hessian, shape ``(n, n)``.
+        gradients:
+            Per-row linear terms, shape ``(B, n)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Objective per row, shape ``(B,)``.
+        """

@@ -154,6 +154,31 @@ PR5_BASELINE_SECONDS = {
     "service_throughput": 9.532e-3,
 }
 
+# Timings of the PR 6 SLO/fault-injection tree at the default sizes (same
+# machine): the values of PR 6's committed BENCH_solvepath.json.  They
+# anchor the ``speedup_vs_pr6`` column — what the pluggable kernel-backend
+# layer bought.  Under the numpy reference (the default) the dispatch must
+# cost ~nothing, so this column doubles as the dispatch-overhead guard;
+# under the ``[compiled]`` extra the ``*_compiled`` stages carry the JIT
+# win (those stages are new in this PR and have no PR 6 anchor).
+PR6_BASELINE_SECONDS = {
+    "qp_solve": 4.749e-5,
+    "qp_solve_warm": 2.515e-5,
+    "qp_solve_batch": 2.105e-4,
+    "problem_assembly_cold": 3.270e-3,
+    "problem_assembly_warm": 5.916e-4,
+    "lambda_gcv": 2.928e-4,
+    "lambda_kfold": 1.677e-3,
+    "bootstrap": 2.156e-3,
+    "kernel_build": 5.436e-3,
+    "fit_many_gcv": 2.005e-3,
+    "fit_many_kfold": 1.320e-2,
+    "session_multi_grid": 2.495e-3,
+    "fit_stream": 1.716e-3,
+    "service_throughput": 1.551e-2,
+    "service_slo": 2.186e-2,
+}
+
 DEFAULT_CONFIG = {
     "num_cells": 6000,
     "phase_bins": 80,
@@ -218,6 +243,15 @@ def run_solvepath_benchmark(
 
     * ``kernel_build`` -- batched ``build_from_history`` on a shared
       population history (memoised pair expansion, Horner volume pass).
+    * ``kernel_build_compiled`` -- the same kernel build re-timed under the
+      ``numba`` kernel backend (one untimed warm-up call pays the JIT).
+      When the ``[compiled]`` extra is not installed this runs on the numpy
+      reference via the documented fallback; the report's ``backend``
+      section records which backend actually executed.
+    * ``problem_assembly_compiled`` -- the cold assembly stage (memos
+      cleared each repeat) under the ``numba`` backend: the constraint
+      quadrature reductions run through the compiled kernels.  Same
+      fallback rule as ``kernel_build_compiled``.
     * ``problem_assembly_cold`` -- fresh problem assembly (design, penalty,
       constraint rows) plus one solve with the module-level assembly memos
       cleared first: the genuinely cold path, whose remaining win is the
@@ -272,6 +306,7 @@ def run_solvepath_benchmark(
       verdict — the cost and behaviour of the admission-control machinery
       under skewed traffic.
     """
+    from repro import backends as kernel_backends
     from repro.cellcycle.kernel import KernelBuilder
     from repro.cellcycle.parameters import CellCycleParameters
     from repro.cellcycle.population import PopulationSimulator
@@ -329,6 +364,24 @@ def run_solvepath_benchmark(
         fresh_problem().solve(lam, backend="active_set")
 
     stages["problem_assembly_cold"] = _time(cold_assembly, repeats)
+
+    # Compiled-backend variants of the two hottest build stages: the same
+    # bodies re-timed under the ``numba`` backend (which resolves to the
+    # numpy reference, with a logged warning, when the [compiled] extra is
+    # not installed).  One untimed warm-up call per stage pays the JIT
+    # compilation — cached across processes when NUMBA_CACHE_DIR is set.
+    with kernel_backends.use_backend("numba") as compiled_backend:
+        compiled_stage_backend = compiled_backend.name
+        builder.build_from_history(history, times, simulator)
+        stages["kernel_build_compiled"] = _time(
+            lambda: builder.build_from_history(history, times, simulator), repeats
+        )
+        cold_assembly()
+        stages["problem_assembly_compiled"] = _time(cold_assembly, repeats)
+    # Drop the memos the compiled passes populated so the warm stages below
+    # re-warm them under the active (default) backend.
+    clear_assembly_caches()
+
     fresh_problem()  # warm the module-level assembly memos
     stages["problem_assembly_warm"] = _time(
         lambda: fresh_problem().solve(lam, backend="active_set"), repeats
@@ -583,9 +636,17 @@ def run_solvepath_benchmark(
         }
         return speedups or None
 
+    backend_report = {
+        "active": kernel_backends.active_backend().name,
+        "requested": kernel_backends.requested_backend(),
+        "compiled_stages_backend": compiled_stage_backend,
+        "available": kernel_backends.available_backends(),
+    }
+
     return {
         "benchmark": "solvepath",
         "config": config,
+        "backend": backend_report,
         "stages_seconds": stages,
         "service": service_report,
         "service_slo": slo_report,
@@ -601,6 +662,8 @@ def run_solvepath_benchmark(
         "speedup_vs_pr4": baseline_speedups(PR4_BASELINE_SECONDS),
         "pr5_baseline_seconds": PR5_BASELINE_SECONDS if is_default else None,
         "speedup_vs_pr5": baseline_speedups(PR5_BASELINE_SECONDS),
+        "pr6_baseline_seconds": PR6_BASELINE_SECONDS if is_default else None,
+        "speedup_vs_pr6": baseline_speedups(PR6_BASELINE_SECONDS),
         "platform": platform.platform(),
     }
 
@@ -613,16 +676,35 @@ def write_baseline(report: dict, path: str) -> None:
 
 
 def format_report(report: dict) -> str:
-    """Human-readable per-stage summary of a report."""
+    """Human-readable per-stage summary of a report.
+
+    Each stage line carries a backend column: the kernel backend the stage
+    actually executed on (``*_compiled`` stages run on the report's
+    ``compiled_stages_backend`` — the numpy reference when the ``[compiled]``
+    extra is absent — everything else on the active backend).
+    """
     lines = [f"solvepath benchmark ({report['config']})"]
+    backend = report.get("backend") or {}
+    active_name = backend.get("active", "numpy")
+    compiled_name = backend.get("compiled_stages_backend", active_name)
+    if backend:
+        available = ", ".join(
+            sorted(name for name, ok in backend.get("available", {}).items() if ok)
+        )
+        lines.append(
+            f"  backend: active {active_name!r}, compiled stages on "
+            f"{compiled_name!r} (available: {available})"
+        )
     seed_speedups = report.get("speedup_vs_seed") or {}
     pr1_speedups = report.get("speedup_vs_pr1") or {}
     pr2_speedups = report.get("speedup_vs_pr2") or {}
     pr3_speedups = report.get("speedup_vs_pr3") or {}
     pr4_speedups = report.get("speedup_vs_pr4") or {}
     pr5_speedups = report.get("speedup_vs_pr5") or {}
+    pr6_speedups = report.get("speedup_vs_pr6") or {}
     for stage, seconds in sorted(report["stages_seconds"].items()):
-        line = f"  {stage:22s} {seconds * 1e3:10.3f} ms"
+        ran_on = compiled_name if stage.endswith("_compiled") else active_name
+        line = f"  {stage:26s} {seconds * 1e3:10.3f} ms  [{ran_on}]"
         if stage in seed_speedups:
             line += f"   ({seed_speedups[stage]:.1f}x vs seed)"
         if stage in pr1_speedups:
@@ -635,6 +717,8 @@ def format_report(report: dict) -> str:
             line += f"   ({pr4_speedups[stage]:.1f}x vs PR4)"
         if stage in pr5_speedups:
             line += f"   ({pr5_speedups[stage]:.1f}x vs PR5)"
+        if stage in pr6_speedups:
+            line += f"   ({pr6_speedups[stage]:.1f}x vs PR6)"
         lines.append(line)
     service = report.get("service")
     if service:
@@ -679,7 +763,7 @@ def compare_reports(
     stages = report.get("stages_seconds", {})
     reference = baseline.get("stages_seconds", {})
     lines = [
-        f"{'stage':22s} {'current':>12s} {'baseline':>12s} {'ratio':>8s}  verdict",
+        f"{'stage':26s} {'current':>12s} {'baseline':>12s} {'ratio':>8s}  verdict",
     ]
     ok = True
     for stage in sorted(set(stages) | set(reference)):
@@ -687,10 +771,10 @@ def compare_reports(
         base = reference.get(stage)
         if current is None:
             ok = False
-            lines.append(f"{stage:22s} {'-':>12s} {base * 1e3:10.3f} ms {'-':>8s}  REGRESSION (stage missing from current run)")
+            lines.append(f"{stage:26s} {'-':>12s} {base * 1e3:10.3f} ms {'-':>8s}  REGRESSION (stage missing from current run)")
             continue
         if base is None:
-            lines.append(f"{stage:22s} {current * 1e3:10.3f} ms {'-':>12s} {'-':>8s}  missing in baseline (ignored)")
+            lines.append(f"{stage:26s} {current * 1e3:10.3f} ms {'-':>12s} {'-':>8s}  missing in baseline (ignored)")
             continue
         ratio = current / base if base > 0 else float("inf")
         verdict = "ok"
@@ -700,7 +784,7 @@ def compare_reports(
         elif ratio > tolerance:
             verdict = "ok (below floor)"
         lines.append(
-            f"{stage:22s} {current * 1e3:10.3f} ms {base * 1e3:10.3f} ms {ratio:7.2f}x  {verdict}"
+            f"{stage:26s} {current * 1e3:10.3f} ms {base * 1e3:10.3f} ms {ratio:7.2f}x  {verdict}"
         )
     report_config = {k: v for k, v in report.get("config", {}).items() if k != "repeats"}
     baseline_config = {k: v for k, v in baseline.get("config", {}).items() if k != "repeats"}

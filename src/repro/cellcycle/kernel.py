@@ -165,15 +165,13 @@ def _uniform_bin_indices(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
     range (i.e. left-closed bins with the last bin right-closed, as in
     ``np.histogram``) but uses direct index arithmetic with a +/-1 boundary
     fix-up, which is considerably faster than a binary search per value.
+    Dispatches to the active kernel backend (``repro.backends``); the numpy
+    reference implementation lives in
+    :meth:`repro.backends.numpy_backend.NumpyBackend.uniform_bin_indices`.
     """
-    num_bins = edges.size - 1
-    scale = num_bins / (edges[-1] - edges[0])
-    bins = ((values - edges[0]) * scale).astype(np.intp)
-    np.clip(bins, 0, num_bins - 1, out=bins)
-    bins[values < edges[bins]] -= 1
-    fixable = bins < num_bins - 1
-    bins[fixable & (values >= edges[bins + 1])] += 1
-    return bins
+    from repro import backends
+
+    return backends.active_backend().uniform_bin_indices(values, edges)
 
 
 class KernelBuilder:
@@ -195,6 +193,11 @@ class KernelBuilder:
     smoothing_window:
         Odd width (in bins) of a moving-average smoother applied to each
         kernel row to damp Monte-Carlo noise; ``1`` disables smoothing.
+    backend:
+        Kernel backend for the binning/volume/smoothing inner loops (a
+        ``repro.backends`` registry name or instance); ``None`` uses the
+        process-wide active backend.  Overridable per call on
+        :meth:`build` / :meth:`build_from_history`.
     """
 
     def __init__(
@@ -206,6 +209,7 @@ class KernelBuilder:
         num_cells: int = config.DEFAULT_POPULATION_SIZE,
         phase_bins: int = config.DEFAULT_PHASE_BINS,
         smoothing_window: int = 3,
+        backend: str | None = None,
     ) -> None:
         self.parameters = parameters if parameters is not None else CellCycleParameters()
         self.volume_model = volume_model if volume_model is not None else SmoothVolumeModel()
@@ -213,6 +217,7 @@ class KernelBuilder:
         self.num_cells = int(num_cells)
         self.phase_bins = int(phase_bins)
         self.smoothing_window = int(smoothing_window)
+        self.backend = backend
         if self.num_cells < 1:
             raise ValueError("num_cells must be >= 1")
         if self.phase_bins < 2:
@@ -227,7 +232,9 @@ class KernelBuilder:
         )
         return simulator.run(self.num_cells, t_end, rng)
 
-    def build(self, times: np.ndarray, rng: SeedLike = None) -> VolumeKernel:
+    def build(
+        self, times: np.ndarray, rng: SeedLike = None, *, backend: str | None = None
+    ) -> VolumeKernel:
         """Estimate the kernel at the given measurement ``times``."""
         times = ensure_1d(times, "times")
         if np.any(times < 0):
@@ -238,13 +245,15 @@ class KernelBuilder:
             self.parameters, self.volume_model, self.initial_condition
         )
         history = simulator.run(self.num_cells, horizon, generator)
-        return self.build_from_history(history, times, simulator)
+        return self.build_from_history(history, times, simulator, backend=backend)
 
     def build_from_history(
         self,
         history: PopulationHistory,
         times: np.ndarray,
         simulator: PopulationSimulator | None = None,
+        *,
+        backend: str | None = None,
     ) -> VolumeKernel:
         """Estimate the kernel from an existing population history.
 
@@ -259,7 +268,15 @@ class KernelBuilder:
         (:meth:`~repro.cellcycle.volume.VolumeModel.volume_for_cells_into`),
         and the bin indices are turned into flat (time, bin) keys in place —
         no intermediate volume array, no separate Horner and binning stages.
+        The binning, volume and smoothing inner loops run on the selected
+        kernel backend (per-call ``backend=``, else the builder's, else the
+        process-wide active one — see ``repro.backends``).
         """
+        from repro import backends
+
+        kernel_backend = backends.resolve(
+            backend if backend is not None else self.backend
+        )
         times = ensure_1d(times, "times")
         if np.any(times < 0):
             raise ValueError(f"time must be non-negative, got {float(times.min())}")
@@ -285,13 +302,17 @@ class KernelBuilder:
         # caller-supplied) volume model straight into the weight buffer of
         # the histogram pass.  The bin indices double as the flat (time, bin)
         # keys after an in-place shift by the snapshot offset.
-        keys = _uniform_bin_indices(phases, edges)
+        keys = kernel_backend.uniform_bin_indices(phases, edges)
         keys += time_idx * num_bins
         weights = simulator.volume_model.volume_for_cells_into(
-            phases, history.transition_phases, cell_idx, np.empty(phases.shape)
+            phases,
+            history.transition_phases,
+            cell_idx,
+            np.empty(phases.shape),
+            backend=kernel_backend,
         )
-        histograms = np.bincount(
-            keys, weights=weights, minlength=num_times * num_bins
+        histograms = kernel_backend.weighted_bincount(
+            keys, weights, num_times * num_bins
         ).reshape(num_times, num_bins)
         # Every pair lands in exactly one bin, so the per-time total volume
         # is just the histogram row sum -- no second bincount pass needed.
@@ -300,36 +321,31 @@ class KernelBuilder:
 
         density = np.zeros((num_times, num_bins))
         counts = np.zeros(num_times, dtype=int)
-        density[order] = self._smooth_rows(rows, widths)
+        density[order] = self._smooth_rows(rows, widths, backend=kernel_backend)
         counts[order] = counts_sorted
         return VolumeKernel(
             times=times.copy(), phase_edges=edges, density=density, num_cells=counts
         )
 
-    def _smooth_rows(self, rows: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    def _smooth_rows(
+        self, rows: np.ndarray, widths: np.ndarray, *, backend=None
+    ) -> np.ndarray:
         """Moving-average smoothing of all kernel rows in one vectorized pass.
 
         Equivalent to applying :meth:`_smooth_row` per row (up to float
         rounding of the sliding-sum formulation): edge-padded moving average
         via a cumulative sum, then per-row renormalisation to preserve each
         row's integral.  Rows whose smoothed integral degenerates to zero are
-        kept unsmoothed, matching the per-row guard.
+        kept unsmoothed, matching the per-row guard.  The pass runs on the
+        selected kernel backend (``repro.backends``).
         """
         if self.smoothing_window == 1:
             return rows
-        half = self.smoothing_window // 2
-        padded = np.pad(rows, ((0, 0), (half, half)), mode="edge")
-        cumulative = np.cumsum(padded, axis=1)
-        window = self.smoothing_window
-        smoothed = np.empty_like(rows)
-        smoothed[:, 0] = cumulative[:, window - 1]
-        smoothed[:, 1:] = cumulative[:, window:] - cumulative[:, : rows.shape[1] - 1]
-        smoothed /= window
-        integrals = smoothed @ widths
-        positive = integrals > 0
-        smoothed[positive] /= integrals[positive, None]
-        smoothed[~positive] = rows[~positive]
-        return smoothed
+        from repro import backends
+
+        return backends.resolve(
+            backend if backend is not None else self.backend
+        ).smooth_rows(rows, widths, self.smoothing_window)
 
     def _smooth_row(self, row: np.ndarray, widths: np.ndarray) -> np.ndarray:
         """Moving-average smoothing of one kernel row, preserving its integral."""

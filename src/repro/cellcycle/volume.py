@@ -80,6 +80,8 @@ class VolumeModel(abc.ABC):
         transition_phases: np.ndarray,
         cell_indices: np.ndarray,
         out: np.ndarray,
+        *,
+        backend=None,
     ) -> np.ndarray:
         """Pair volumes written into a caller-provided buffer.
 
@@ -88,6 +90,9 @@ class VolumeModel(abc.ABC):
         evaluates volumes directly into the buffer that becomes the binned
         accumulation weights, so subclasses can override this to skip every
         intermediate array; the base implementation simply copies.
+        ``backend`` selects the kernel backend (see ``repro.backends``) for
+        subclasses with a dispatched evaluation path; the generic base path
+        ignores it.
         """
         out[...] = self.volume_for_cells(phi, transition_phases, cell_indices)
         return out
@@ -241,17 +246,23 @@ class SmoothVolumeModel(VolumeModel):
         transition_phases: np.ndarray,
         cell_indices: np.ndarray,
         out: np.ndarray,
+        *,
+        backend=None,
     ) -> np.ndarray:
         """Fused Horner evaluation straight into a caller-provided buffer.
 
-        The piecewise polynomial is accumulated in place in ``out``: the
-        piece covering the **majority** of the pairs is Horner-evaluated over
-        the whole buffer, and only the minority piece is recomputed and
-        scattered through its boolean mask — no full second-piece array, no
-        ``where`` allocation.  This is the path the fused kernel build uses:
-        ``out`` is the weight buffer of the binned accumulation, so volume
-        evaluation flows directly into the histogram pass.
+        The piecewise polynomial is accumulated in place in ``out`` by the
+        selected kernel backend (``repro.backends``): the numpy reference
+        Horner-evaluates the piece covering the **majority** of the pairs
+        over the whole buffer and scatters only the minority piece through
+        its boolean mask — no full second-piece array, no ``where``
+        allocation — while the compiled backend runs one fused per-pair
+        loop.  This is the path the fused kernel build uses: ``out`` is the
+        weight buffer of the binned accumulation, so volume evaluation flows
+        directly into the histogram pass.
         """
+        from repro import backends
+
         phi = np.asarray(phi, dtype=float)
         s = np.asarray(transition_phases, dtype=float)
         cell_indices = np.asarray(cell_indices)
@@ -261,41 +272,9 @@ class SmoothVolumeModel(VolumeModel):
             raise ValueError("transition phases must lie strictly inside (0, 1)")
         phi = np.clip(phi, 0.0, 1.0)
         late_base, linear, quad, cubic = self._cached_coefficients(s)
-        early_mask = phi < s[cell_indices]
-        num_early = int(np.count_nonzero(early_mask))
-        if 2 * num_early <= phi.size:
-            # Late-dominant (e.g. a culture past its first division wave):
-            # the linear piece fills the buffer, the cubic minority is
-            # patched in through the mask.
-            np.take(linear, cell_indices, out=out)
-            out *= phi
-            out += late_base[cell_indices]
-            if num_early:
-                indices = cell_indices[early_mask]
-                early_phi = phi[early_mask]
-                early = cubic[indices] * early_phi
-                early += quad[indices]
-                early *= early_phi
-                early += linear[indices]
-                early *= early_phi
-                early += 0.4
-                out[early_mask] = early
-        else:
-            np.take(cubic, cell_indices, out=out)
-            out *= phi
-            out += quad[cell_indices]
-            out *= phi
-            out += linear[cell_indices]
-            out *= phi
-            out += 0.4
-            if num_early < phi.size:
-                late_mask = ~early_mask
-                indices = cell_indices[late_mask]
-                late = linear[indices] * phi[late_mask]
-                late += late_base[indices]
-                out[late_mask] = late
-        out *= self.v0
-        return out
+        return backends.resolve(backend).smooth_volume_into(
+            phi, s, cell_indices, late_base, linear, quad, cubic, self.v0, out
+        )
 
 
 _VOLUME_MODELS = {

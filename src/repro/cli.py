@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli sensitivity
     python -m repro.cli ablations [--study volume|constraints|lambda|all]
     python -m repro.cli serve-bench [--requests 96] [--grids 2] [--verbose]
+    python -m repro.cli backends
+    python -m repro.cli --backend numba figure2
 
 Each sub-command runs the corresponding experiment driver — all of which
 route their fits through the experiment-scoped ``FitSession`` layer — and
@@ -16,6 +18,11 @@ prints the series / metrics that the paper figure reports.  ``figure5`` can
 additionally write the deconvolved profile to CSV.  ``serve-bench`` load
 tests the micro-batching fit service (``repro.service``) against
 one-request-at-a-time fits and verifies every response to 1e-10.
+
+The global ``--backend`` flag (before the sub-command) selects the kernel
+backend for the run (``numpy`` reference or the compiled ``numba`` backend
+from the ``[compiled]`` extra); ``backends`` lists the registry with
+availability and the active selection.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import backends, config
 from repro.cellcycle.celltypes import CellType
 from repro.data.io import save_profile_csv
 from repro.data.timeseries import PhaseProfile
@@ -46,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="In silico synchronization of cellular populations (DAC 2011 reproduction)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for this run (registered: "
+             f"{', '.join(backends.registered_backends())}; unavailable compiled "
+             "backends fall back to the numpy reference with a warning)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -115,6 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "solves, build failures, cache evictions)")
     serve.add_argument("--verbose", action="store_true",
                        help="also print pool / session / cache / telemetry stats")
+
+    subparsers.add_parser(
+        "backends",
+        help="list registered kernel backends (availability and active selection)",
+    )
     return parser
 
 
@@ -453,6 +474,26 @@ def _run_serve_scenarios(args: argparse.Namespace, kernels, factory) -> int:
     return 0
 
 
+def _run_backends(args: argparse.Namespace) -> int:
+    """Print the kernel-backend registry (``repro backends``)."""
+    rows = []
+    for entry in backends.backend_table():
+        rows.append([
+            entry["name"],
+            "yes" if entry["compiled"] else "no",
+            "yes" if entry["available"] else "no",
+            "*" if entry["active"] else "",
+            entry["description"] + (f" [{entry['error']}]" if entry["error"] else ""),
+        ])
+    print(format_table(
+        ["backend", "compiled", "available", "active", "description"], rows
+    ))
+    print(f"requested at import: {backends.requested_backend()!r} "
+          f"(env var {config.BACKEND_ENV_VAR}); "
+          f"active: {backends.active_backend().name!r}")
+    return 0
+
+
 def _run_sensitivity(args: argparse.Namespace) -> int:
     result = run_mu_sst_sensitivity(num_cells=args.cells, rng=args.seed)
     print(format_table(
@@ -475,7 +516,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sensitivity": _run_sensitivity,
         "ablations": _run_ablations,
         "serve-bench": _run_serve_bench,
+        "backends": _run_backends,
     }
+    if args.backend is not None:
+        backends.set_active_backend(args.backend)
     with np.printoptions(precision=4, suppress=True):
         return handlers[args.command](args)
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import backends
 from repro.cellcycle.parameters import CellCycleParameters
 from repro.core.basis import SplineBasis, clear_penalty_cache
 from repro.numerics.quadrature import simpson_weights
@@ -267,13 +268,15 @@ class Constraint(abc.ABC):
         """Append this constraint's rows to ``constraint_set``."""
 
     def apply_with_context(
-        self, constraint_set: ConstraintSet, context: AssemblyContext
+        self, constraint_set: ConstraintSet, context: AssemblyContext, *, backend=None
     ) -> None:
         """Append rows using a shared :class:`AssemblyContext`.
 
         The default delegates to :meth:`apply`, so third-party constraints
         written against the ``(basis, parameters)`` signature keep working;
         the built-in constraints override this with the table-sharing path.
+        ``backend`` selects the kernel backend for the quadrature reductions
+        (``None`` means the process-wide active one).
         """
         self.apply(constraint_set, context.basis, context.parameters)
 
@@ -305,7 +308,7 @@ class PositivityConstraint(Constraint):
         self.apply_with_context(constraint_set, assembly_context(basis, parameters))
 
     def apply_with_context(
-        self, constraint_set: ConstraintSet, context: AssemblyContext
+        self, constraint_set: ConstraintSet, context: AssemblyContext, *, backend=None
     ) -> None:
         """Append the positivity rows from the context's cached basis table."""
         rows = context.basis_values(self.grid_size)
@@ -333,13 +336,15 @@ class RNAConservationConstraint(Constraint):
         self.apply_with_context(constraint_set, assembly_context(basis, parameters))
 
     def apply_with_context(
-        self, constraint_set: ConstraintSet, context: AssemblyContext
+        self, constraint_set: ConstraintSet, context: AssemblyContext, *, backend=None
     ) -> None:
         """Append the conservation row from the context's cached tables."""
         parameters = context.parameters
         _, weights, density = context.density_quadrature(self.quadrature_size)
         basis_at_zero, basis_at_one = context.endpoint_values
-        density_integral = (weights * density) @ context.basis_values(self.quadrature_size)
+        density_integral = backends.resolve(backend).weighted_dot(
+            weights, density, context.basis_values(self.quadrature_size)
+        )
         row = (
             basis_at_one
             - parameters.swarmer_volume_fraction * basis_at_zero
@@ -370,10 +375,11 @@ class RateContinuityConstraint(Constraint):
         self.apply_with_context(constraint_set, assembly_context(basis, parameters))
 
     def apply_with_context(
-        self, constraint_set: ConstraintSet, context: AssemblyContext
+        self, constraint_set: ConstraintSet, context: AssemblyContext, *, backend=None
     ) -> None:
         """Append the rate-continuity row from the context's cached tables."""
         parameters = context.parameters
+        kernel_backend = backends.resolve(backend)
         _, weights, density = context.density_quadrature(self.quadrature_size)
         # The divergence of beta at phi = 1 is handled once, inside the
         # context's masked beta table (see AssemblyContext.beta_quadrature).
@@ -388,12 +394,13 @@ class RateContinuityConstraint(Constraint):
         lhs = (
             beta0 * basis_at_one
             - beta0 * basis_at_zero
-            - (weights * beta_density) @ basis_on_grid
+            - kernel_backend.weighted_dot(weights, beta_density, basis_on_grid)
         )
         # Right-hand side of eq. 17: integral of w2 against f'.
         rhs = (
             parameters.swarmer_volume_fraction * deriv_at_zero
-            + parameters.stalked_volume_fraction * ((weights * density) @ deriv_on_grid)
+            + parameters.stalked_volume_fraction
+            * kernel_backend.weighted_dot(weights, density, deriv_on_grid)
             - deriv_at_one
         )
         row = lhs - rhs
@@ -424,16 +431,25 @@ def build_constraint_set(
     parameters: CellCycleParameters,
     *,
     context: AssemblyContext | None = None,
+    backend: str | None = None,
 ) -> ConstraintSet:
     """Assemble the linear rows of all given constraints.
 
     All constraints share one :class:`AssemblyContext` (the memoised
     module-level context by default), so the dense quadrature tables and
     basis evaluations are computed at most once per configuration.
+
+    ``backend`` selects the kernel backend for the quadrature reductions
+    (see ``repro.backends``); ``None`` — the default — uses the process-wide
+    active backend and keeps compatibility with third-party constraints
+    whose ``apply_with_context`` predates the ``backend`` keyword.
     """
     if context is None:
         context = assembly_context(basis, parameters)
     constraint_set = ConstraintSet.empty(basis.num_basis)
     for constraint in constraints:
-        constraint.apply_with_context(constraint_set, context)
+        if backend is None:
+            constraint.apply_with_context(constraint_set, context)
+        else:
+            constraint.apply_with_context(constraint_set, context, backend=backend)
     return constraint_set

@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy.linalg import get_lapack_funcs
 
+from repro import backends
 from repro.utils.validation import ensure_1d, ensure_2d
 
 
@@ -612,6 +613,7 @@ class QPWorkspace:
         shared_active_set: Optional[Sequence[int]] = None,
         max_iterations: int = 500,
         tol: float = 1e-9,
+        kernel_backend: backends.BackendSpec = None,
     ) -> BatchQPResult:
         """Solve a whole family of linear terms against the shared factorization.
 
@@ -640,6 +642,12 @@ class QPWorkspace:
         max_iterations, tol:
             Passed to the fallback active-set solves; ``tol`` also bounds the
             primal/dual verification of the batched solutions.
+        kernel_backend:
+            Kernel backend for the per-pass result packaging and the final
+            objective evaluation (see ``repro.backends``); ``None`` uses the
+            process-wide active backend.  Named ``kernel_backend`` (not
+            ``backend``) because ``backend=`` already selects the QP
+            *algorithm* in :func:`solve_qp`.
 
         Notes
         -----
@@ -661,6 +669,7 @@ class QPWorkspace:
             raise ValueError(
                 "gradients must have shape (num_problems, num_variables)"
             )
+        kb = backends.resolve(kernel_backend)
         num_problems = gradients.shape[0]
         n = self.num_variables
         solutions = np.zeros((num_problems, n))
@@ -691,16 +700,14 @@ class QPWorkspace:
                     gradients[rows], guess, tol
                 )
                 working_sorted = sorted(working)
-                still_pending: list[int] = []
-                for position, row in enumerate(rows):
-                    if accepted[position]:
-                        solutions[row] = candidates[position]
-                        active_sets[row] = list(working_sorted)
-                    else:
-                        if primal_ok[position]:
-                            warm_candidates[row] = candidates[position]
-                        still_pending.append(int(row))
-                remaining = still_pending
+                accepted_rows, pending_rows = kb.partition_accepted(
+                    solutions, rows, candidates, accepted
+                )
+                for row in accepted_rows:
+                    active_sets[row] = list(working_sorted)
+                for position in np.flatnonzero(~accepted & primal_ok):
+                    warm_candidates[int(rows[position])] = candidates[position]
+                remaining = [int(row) for row in pending_rows]
                 if not remaining:
                     break
             # Exact active-set solve of one pending row, warm-started from
@@ -736,9 +743,7 @@ class QPWorkspace:
                 last_result = row_result
                 guess = list(row_result.active_set)
 
-        hx = solutions @ self.hessian
-        objectives = 0.5 * np.einsum("bi,bi->b", solutions, hx)
-        objectives += np.einsum("bi,bi->b", gradients, solutions)
+        objectives = kb.batch_objectives(solutions, self.hessian, gradients)
         return BatchQPResult(
             x=solutions,
             objectives=objectives,

@@ -23,7 +23,9 @@ from repro.benchmarks.solvepath import (
 
 EXPECTED_STAGES = {
     "kernel_build",
+    "kernel_build_compiled",
     "problem_assembly_cold",
+    "problem_assembly_compiled",
     "problem_assembly_warm",
     "qp_solve",
     "qp_solve_warm",
@@ -48,6 +50,18 @@ def smoke_report():
 def test_smoke_report_has_all_stages(smoke_report):
     assert set(smoke_report["stages_seconds"]) == EXPECTED_STAGES
     assert all(seconds > 0.0 for seconds in smoke_report["stages_seconds"].values())
+
+
+def test_backend_section_shape(smoke_report):
+    """The report records which kernel backend each stage family ran on."""
+    backend = smoke_report["backend"]
+    assert backend["active"] in {"numpy", "numba"}
+    assert backend["compiled_stages_backend"] in {"numpy", "numba"}
+    assert backend["available"]["numpy"] is True
+    assert set(backend["available"]) == {"numpy", "numba"}
+    text = format_report(smoke_report)
+    assert "backend: active" in text
+    assert f"[{backend['active']}]" in text
 
 
 def test_service_slo_section_shape(smoke_report):
