@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli sensitivity
     python -m repro.cli ablations [--study volume|constraints|lambda|all]
     python -m repro.cli serve-bench [--requests 96] [--grids 2] [--verbose]
+    python -m repro.cli serve-bench --http [--http-clients 4]
+    python -m repro.cli serve [--host 127.0.0.1] [--port 8732]
     python -m repro.cli backends
     python -m repro.cli --backend numba figure2
 
@@ -17,7 +19,12 @@ route their fits through the experiment-scoped ``FitSession`` layer — and
 prints the series / metrics that the paper figure reports.  ``figure5`` can
 additionally write the deconvolved profile to CSV.  ``serve-bench`` load
 tests the micro-batching fit service (``repro.service``) against
-one-request-at-a-time fits and verifies every response to 1e-10.
+one-request-at-a-time fits and verifies every response to 1e-10; with
+``--http`` the same workload travels over real sockets through the network
+edge (``repro.service.net``) and the same gate applies end to end.
+``serve`` runs that network edge in the foreground (HTTP + WebSocket
+streaming plus the ``/healthz`` / ``/metrics`` / ``/pool`` / ``/backends``
+ops routes) until interrupted.
 
 The global ``--backend`` flag (before the sub-command) selects the kernel
 backend for the run (``numpy`` reference or the compiled ``numba`` backend
@@ -131,6 +138,30 @@ def _build_parser() -> argparse.ArgumentParser:
                             "solves, build failures, cache evictions)")
     serve.add_argument("--verbose", action="store_true",
                        help="also print pool / session / cache / telemetry stats")
+    serve.add_argument("--http", action="store_true",
+                       help="drive the workload over real sockets through the network edge "
+                            "(HTTP front end) instead of in-process submits; the same "
+                            "1e-10 equivalence gate applies end to end")
+    serve.add_argument("--http-clients", type=int, default=4,
+                       help="concurrent HTTP client threads for --http")
+
+    server = subparsers.add_parser(
+        "serve",
+        help="run the fit service network edge (HTTP + WebSocket) in the foreground",
+    )
+    server.add_argument("--host", type=str, default=config.DEFAULT_NET_HOST,
+                        help="bind host (loopback by default)")
+    server.add_argument("--port", type=int, default=config.DEFAULT_NET_PORT,
+                        help="bind TCP port (0 picks an ephemeral port)")
+    server.add_argument("--cells", type=int, default=3000,
+                        help="Monte-Carlo founder cells per kernel")
+    server.add_argument("--grids", type=int, default=2,
+                        help="distinct measurement time grids to register")
+    server.add_argument("--max-batch", type=int, default=64, help="scheduler batch size bound")
+    server.add_argument("--max-wait-ms", type=float, default=0.2, help="scheduler batching window")
+    server.add_argument("--workers", type=int, default=2, help="scheduler worker threads")
+    server.add_argument("--max-inflight", type=int, default=config.DEFAULT_STREAM_WINDOW,
+                        help="per-connection in-flight window of the streaming route")
 
     subparsers.add_parser(
         "backends",
@@ -239,12 +270,40 @@ def _run_figure5(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_serve_bench(args: argparse.Namespace) -> int:
-    import time
+def _build_service_stack(cells: int, grids: int):
+    """Build the kernels and the session factory every service command shares.
 
+    Distinct measurement schedules are generated for however many grids were
+    asked for (shrinking span and density so every grid is unique); the
+    returned factory creates one deconvolver per pool shard with every
+    kernel pre-registered.
+    """
     from repro.cellcycle.kernel import KernelBuilder
     from repro.cellcycle.parameters import CellCycleParameters
     from repro.core.deconvolver import Deconvolver
+
+    parameters = CellCycleParameters()
+    builder = KernelBuilder(parameters, num_cells=cells, phase_bins=60)
+    schedules = [
+        np.linspace(0.0, 150.0 - 5.0 * index, max(8, 16 - index))
+        for index in range(max(1, grids))
+    ]
+    print(f"Building {len(schedules)} population kernel(s) ({cells} cells each) ...")
+    kernels = [builder.build(times, rng=index) for index, times in enumerate(schedules)]
+
+    def factory(_key):
+        deconvolver = Deconvolver(parameters=parameters, num_basis=12)
+        session = deconvolver.session()
+        for kernel in kernels:
+            session.register_kernel(kernel)
+        return deconvolver
+
+    return kernels, factory
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
     from repro.service import (
         MicroBatchScheduler,
         SessionPool,
@@ -255,23 +314,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         warm_serial_reference,
     )
 
-    parameters = CellCycleParameters()
-    builder = KernelBuilder(parameters, num_cells=args.cells, phase_bins=60)
-    # Distinct measurement schedules, generated for however many grids were
-    # asked for (shrinking span and density so every grid is unique).
-    grids = [
-        np.linspace(0.0, 150.0 - 5.0 * index, max(8, 16 - index))
-        for index in range(max(1, args.grids))
-    ]
-    print(f"Building {len(grids)} population kernel(s) ({args.cells} cells each) ...")
-    kernels = [builder.build(times, rng=index) for index, times in enumerate(grids)]
-
-    def factory(_key):
-        deconvolver = Deconvolver(parameters=parameters, num_basis=12)
-        session = deconvolver.session()
-        for kernel in kernels:
-            session.register_kernel(kernel)
-        return deconvolver
+    kernels, factory = _build_service_stack(args.cells, args.grids)
 
     if args.scenario is not None:
         return _run_serve_scenarios(args, kernels, factory)
@@ -285,6 +328,9 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     workload = build_workload(kernels, spec)
     pool = SessionPool(factory)
     reference = factory("serial-reference")
+
+    if args.http:
+        return _run_serve_bench_http(args, workload, pool, reference)
 
     with MicroBatchScheduler(
         pool,
@@ -339,6 +385,128 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         print(f"FAILED: scheduler responses deviate from direct fits by {gap:.2e} (> 1e-10)")
         return 1
     print("ok: every scheduler response matches its one-shot fit to 1e-10")
+    return 0
+
+
+def _run_serve_bench_http(args: argparse.Namespace, workload, pool, reference) -> int:
+    """Drive the seeded workload through the network edge over real sockets.
+
+    The workload is split round-robin over ``--http-clients`` threads, each
+    holding its own keep-alive :class:`~repro.service.net.FitHTTPClient`;
+    every response (decoded from the wire) must match the one-shot serial
+    reference to 1e-10 with exact lambda agreement, and the ops routes must
+    answer with live data while the load is running.  Exit code 1 on a gap.
+    """
+    import concurrent.futures
+    import time
+
+    from repro.service import MicroBatchScheduler, max_coefficient_gap, serial_reference
+    from repro.service.net import FitHTTPClient, WireFit, serve_in_thread
+
+    wires = [WireFit.from_request(request) for request in workload]
+    with MicroBatchScheduler(
+        pool,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+    ) as scheduler:
+        with serve_in_thread(scheduler) as handle:
+            print(f"Serving on {handle.host}:{handle.port} "
+                  f"({args.http_clients} client thread(s), {len(workload)} requests) ...")
+
+            def run_client(offset: int) -> list[tuple[int, object]]:
+                out = []
+                with FitHTTPClient(handle.host, handle.port) as client:
+                    for index in range(offset, len(wires), args.http_clients):
+                        out.append((index, client.fit(wires[index])))
+                return out
+
+            start = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(args.http_clients) as executor:
+                futures = [executor.submit(run_client, i) for i in range(args.http_clients)]
+                # Ops routes must answer with live data *while* fits stream.
+                with FitHTTPClient(handle.host, handle.port) as ops:
+                    health = ops.healthz()
+                    metrics = ops.metrics()
+                indexed = [pair for future in futures for pair in future.result()]
+            http_seconds = time.perf_counter() - start
+            results = [result for _index, result in sorted(indexed)]
+        snapshot = scheduler.telemetry.snapshot()
+
+    start = time.perf_counter()
+    references = serial_reference(reference, workload)
+    serial_seconds = time.perf_counter() - start
+
+    gap = max_coefficient_gap(results, references)
+    lambdas_equal = [r.lam for r in results] == [r.lam for r in references]
+    rows = [
+        ["requests", float(len(workload))],
+        ["http ms", http_seconds * 1e3],
+        ["serial ms", serial_seconds * 1e3],
+        ["throughput rps", len(workload) / http_seconds],
+        ["coalescing factor", snapshot["coalescing_factor"]],
+        ["http requests seen", float(snapshot["counters"].get("net_http_requests", 0))],
+        ["max |coef gap|", gap],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.verbose:
+        print(f"  /healthz during load: {health}")
+        print(f"  /metrics counters during load: {metrics['counters']}")
+    if health.get("status") != "ok":
+        print(f"FAILED: /healthz reported {health!r} under load")
+        return 1
+    if metrics["counters"].get("net_http_requests", 0) <= 0:
+        print("FAILED: /metrics showed no live traffic under load")
+        return 1
+    if not lambdas_equal:
+        print("FAILED: wire lambdas deviate from the one-shot fits")
+        return 1
+    if gap > 1e-10:
+        print(f"FAILED: wire responses deviate from direct fits by {gap:.2e} (> 1e-10)")
+        return 1
+    print("ok: every wire response matches its one-shot fit to 1e-10 "
+          "(exact lambda agreement)")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the network edge in the foreground until interrupted."""
+    import asyncio
+
+    from repro.service import MicroBatchScheduler, SessionPool
+    from repro.service.net import FitServer
+
+    _kernels, factory = _build_service_stack(args.cells, args.grids)
+    pool = SessionPool(factory)
+
+    async def serve() -> None:
+        server = FitServer(
+            scheduler,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+        )
+        await server.start()
+        print(f"repro fit service listening on http://{server.host}:{server.port}")
+        print("routes: POST /v1/fit  POST /v1/fit/batch  GET /v1/stream (ws)  "
+              "/healthz  /metrics  /pool  /backends")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+
+    with MicroBatchScheduler(
+        pool,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+    ) as scheduler:
+        try:
+            asyncio.run(serve())
+        except KeyboardInterrupt:
+            print("shutting down")
     return 0
 
 
@@ -516,6 +684,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sensitivity": _run_sensitivity,
         "ablations": _run_ablations,
         "serve-bench": _run_serve_bench,
+        "serve": _run_serve,
         "backends": _run_backends,
     }
     if args.backend is not None:

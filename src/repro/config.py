@@ -60,6 +60,25 @@ BACKEND_ENV_VAR: str = "REPRO_BACKEND"
 #: the service scheduler's batch workers).
 DEFAULT_THREAD_POOL_CAP: int = 4
 
+#: Default bind host of the network front end (``repro serve``); loopback by
+#: default — expose the service deliberately, not by accident.
+DEFAULT_NET_HOST: str = "127.0.0.1"
+
+#: Default TCP port of the network front end (0 = ephemeral, for tests).
+DEFAULT_NET_PORT: int = 8732
+
+#: Per-connection in-flight window of the WebSocket streaming route: a
+#: stream may have at most this many submitted-but-undelivered fits, which
+#: bounds server-side buffering per connection (slow-consumer backpressure).
+DEFAULT_STREAM_WINDOW: int = 32
+
+#: Seconds the HTTP edge waits on scheduler intake backpressure before
+#: answering 429 (intake_overflow).
+DEFAULT_SUBMIT_TIMEOUT_S: float = 30.0
+
+#: Largest HTTP request body / WebSocket message the network edge accepts.
+DEFAULT_MAX_MESSAGE_BYTES: int = 16 * 1024 * 1024
+
 #: Worker cap for process pools (the `fit_many` process escape hatch, which
 #: pays a full problem assembly per worker).
 DEFAULT_PROCESS_POOL_CAP: int = 8

@@ -19,7 +19,11 @@ long-lived runtime for concurrent deconvolution traffic:
 * :mod:`~repro.service.faults` — deterministic seeded fault injection
   behind the solve/build/cache boundaries for the chaos scenario suite;
 * :mod:`~repro.service.loadgen` — deterministic seeded workload generation
-  and chaos scenarios for benchmarks and ``repro serve-bench``.
+  and chaos scenarios for benchmarks and ``repro serve-bench``;
+* :mod:`~repro.service.net` — the asyncio HTTP/WebSocket network edge
+  (versioned wire protocol, ops routes, bundled blocking clients) serving
+  a scheduler over real sockets (``repro serve``).  Imported lazily — the
+  in-process service layer never pays for it.
 
 Responses are bit-identical (to 1e-10) to direct
 :meth:`~repro.core.deconvolver.Deconvolver.fit` calls; the service layer

@@ -1,0 +1,54 @@
+"""Network front end of the fit service: protocol, server, clients.
+
+The edge layer exposing :class:`~repro.service.scheduler.MicroBatchScheduler`
+over real sockets:
+
+* :mod:`~repro.service.net.protocol` — the versioned, typed JSON wire
+  schema (fit/result/error/hello frames, taxonomy mapping);
+* :mod:`~repro.service.net.ws` — minimal RFC 6455 WebSocket framing;
+* :mod:`~repro.service.net.server` — the asyncio HTTP + WebSocket server
+  with ops routes and slow-consumer backpressure;
+* :mod:`~repro.service.net.client` — blocking HTTP and stream clients for
+  benches, tests and scripts.
+"""
+
+from repro.service.net.client import FitHTTPClient, StreamClient
+from repro.service.net.protocol import (
+    FRAME_KINDS,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    Frame,
+    ProtocolError,
+    RemoteError,
+    VersionMismatch,
+    WireError,
+    WireFit,
+    WireHello,
+    WireResult,
+    decode_frame,
+    error_to_frame,
+    frame_to_error,
+)
+from repro.service.net.server import FitServer, ServerHandle, serve_in_thread
+
+__all__ = [
+    "FRAME_KINDS",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "FitHTTPClient",
+    "FitServer",
+    "Frame",
+    "ProtocolError",
+    "RemoteError",
+    "ServerHandle",
+    "StreamClient",
+    "VersionMismatch",
+    "WireError",
+    "WireFit",
+    "WireHello",
+    "WireResult",
+    "decode_frame",
+    "error_to_frame",
+    "frame_to_error",
+    "serve_in_thread",
+]

@@ -1,0 +1,327 @@
+"""Blocking clients for the fit service network edge.
+
+Two thin, dependency-free clients over the stdlib socket stack, speaking
+the :mod:`repro.service.net.protocol` frames:
+
+* :class:`FitHTTPClient` — request/response over HTTP/1.1 keep-alive
+  (``http.client``).  Typed errors come back as the *original* taxonomy
+  exceptions via :func:`~repro.service.net.protocol.frame_to_error`, so
+  remote calls fail the same way in-process calls do.
+* :class:`StreamClient` — the WebSocket streaming route on a raw socket,
+  with client-side masking per RFC 6455 and the correlation-id bookkeeping
+  for out-of-order completion.
+
+Both are what the CLI bench and the integration test layer drive against
+real sockets; they are deliberately synchronous so plain threads (and the
+seeded load generator) can use them without an event loop.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import uuid
+
+from repro import config
+from repro.service.net import ws
+from repro.service.net.protocol import (
+    PROTOCOL_VERSION,
+    Frame,
+    ProtocolError,
+    RemoteError,
+    WireError,
+    WireFit,
+    WireHello,
+    WireResult,
+    decode_frame,
+    frame_to_error,
+)
+
+__all__ = ["FitHTTPClient", "StreamClient"]
+
+
+def _raise_from_frame(frame: Frame) -> None:
+    """Raise the typed exception an error frame describes."""
+    raise frame_to_error(WireError.from_payload(frame.payload))
+
+
+def _coerce_wire_fit(wire: WireFit | dict) -> WireFit:
+    """Accept a :class:`WireFit` or its plain-dict payload form."""
+    if isinstance(wire, WireFit):
+        return wire
+    if isinstance(wire, dict):
+        return WireFit.from_payload(wire)
+    raise TypeError(f"expected a WireFit or dict payload, got {type(wire).__name__}")
+
+
+class FitHTTPClient:
+    """Blocking HTTP client of the fit service edge.
+
+    One keep-alive connection per client instance; instances are not
+    thread-safe (``http.client`` is not), so concurrent callers each hold
+    their own — which is exactly how the bench models independent clients.
+
+    Parameters
+    ----------
+    host, port:
+        Address of a running :class:`~repro.service.net.server.FitServer`.
+    timeout:
+        Socket timeout in seconds for each request/response round-trip.
+    """
+
+    def __init__(
+        self,
+        host: str = config.DEFAULT_NET_HOST,
+        port: int = config.DEFAULT_NET_PORT,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._conn = http.client.HTTPConnection(host, self.port, timeout=timeout)
+
+    def close(self) -> None:
+        """Close the underlying keep-alive connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "FitHTTPClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- low level ------------------------------------------------------
+
+    def _round_trip(self, method: str, path: str, body: str | None = None) -> tuple[int, bytes]:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, OSError):
+            # A dropped keep-alive connection (server restart, idle close):
+            # reconnect once, then let failures propagate.
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        return response.status, data
+
+    def _call(self, path: str, frame: Frame, expect: str) -> Frame:
+        status, data = self._round_trip("POST", path, frame.encode())
+        reply = decode_frame(data)
+        if reply.kind == "error":
+            _raise_from_frame(reply)
+        if reply.kind != expect:
+            raise RemoteError(
+                f"expected a {expect} frame, got {reply.kind!r}", http_status=status
+            )
+        return reply
+
+    def get_json(self, path: str) -> dict:
+        """GET an ops route (``/healthz``, ``/metrics``, ...) as a dict."""
+        _status, data = self._round_trip("GET", path)
+        return json.loads(data)
+
+    # -- fit API --------------------------------------------------------
+
+    def fit(self, wire: WireFit | dict) -> WireResult:
+        """Solve one fit remotely; raises the typed taxonomy on failure.
+
+        Accepts a :class:`WireFit` or its plain-dict payload form (the
+        latter is validated through :meth:`WireFit.from_payload`).
+        """
+        wire = _coerce_wire_fit(wire)
+        reply = self._call("/v1/fit", Frame("fit", wire.to_payload()), "result")
+        return WireResult.from_payload(reply.payload)
+
+    def fit_batch(self, wires: list[WireFit | dict]) -> list[WireResult | Exception]:
+        """Solve a batch remotely; one result *or* typed exception per entry.
+
+        Mirrors the scheduler's ``submit_many`` overflow contract: a partial
+        intake failure yields per-entry
+        :class:`~repro.service.errors.IntakeOverflow` exceptions for the
+        rejected tail while accepted entries still return results.
+        """
+        payload = {"requests": [_coerce_wire_fit(wire).to_payload() for wire in wires]}
+        status, data = self._round_trip("POST", "/v1/fit/batch", Frame("batch_fit", payload).encode())
+        reply = decode_frame(data)
+        if reply.kind == "error":
+            _raise_from_frame(reply)
+        if reply.kind != "batch_result":
+            raise RemoteError(
+                f"expected a batch_result frame, got {reply.kind!r}", http_status=status
+            )
+        out: list[WireResult | Exception] = []
+        for item in reply.payload.get("results", []):
+            if not isinstance(item, dict):
+                raise ProtocolError("batch_result entries must be objects")
+            if item.get("kind") == "result":
+                out.append(WireResult.from_payload(item.get("payload", {})))
+            else:
+                out.append(frame_to_error(WireError.from_payload(item.get("payload", {}))))
+        return out
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` liveness document."""
+        return self.get_json("/healthz")
+
+    def metrics(self) -> dict:
+        """The live ``/metrics`` telemetry snapshot."""
+        return self.get_json("/metrics")
+
+    def pool(self) -> dict:
+        """The ``/pool`` scheduler/session-pool stats document."""
+        return self.get_json("/pool")
+
+    def backends(self) -> dict:
+        """The ``/backends`` kernel-backend registry document."""
+        return self.get_json("/backends")
+
+
+class StreamClient:
+    """Blocking WebSocket client of the ``/v1/stream`` route.
+
+    Performs the RFC 6455 handshake on a raw socket, sends masked fit
+    frames tagged with correlation ids, and reads result/error frames in
+    whatever order the server finishes them.  ``recv_frame`` surfaces each
+    frame; :meth:`collect` gathers responses for a set of submitted ids.
+
+    A *deliberately slow* consumer — the backpressure regression test —
+    just submits many fits and delays its ``recv_frame`` calls; the server
+    must cap that connection's in-flight work at its advertised window.
+
+    Parameters
+    ----------
+    host, port:
+        Address of a running :class:`~repro.service.net.server.FitServer`.
+    timeout:
+        Socket timeout in seconds for reads during the handshake and
+        :meth:`recv_frame`.
+    """
+
+    def __init__(
+        self,
+        host: str = config.DEFAULT_NET_HOST,
+        port: int = config.DEFAULT_NET_PORT,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=timeout)
+        self._send_lock = threading.Lock()
+        self.hello = self._handshake()
+
+    def _handshake(self) -> WireHello:
+        key = uuid.uuid4().hex
+        request = (
+            f"GET /v1/stream HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        )
+        self._sock.sendall(request.encode("latin-1"))
+        # Read the upgrade response head byte-by-byte up to the blank line;
+        # everything after it is WebSocket framing and must not be consumed.
+        head = bytearray()
+        while not head.endswith(b"\r\n\r\n"):
+            chunk = self._sock.recv(1)
+            if not chunk:
+                raise ConnectionError("server closed during WebSocket handshake")
+            head += chunk
+            if len(head) > 65536:
+                raise ProtocolError("oversized WebSocket handshake response")
+        status_line = bytes(head).split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            raise ProtocolError(f"WebSocket upgrade refused: {status_line!r}")
+        hello = self.recv_frame()
+        if hello.kind != "hello":
+            raise ProtocolError(f"expected a hello frame, got {hello.kind!r}")
+        wire = WireHello.from_payload(hello.payload)
+        if PROTOCOL_VERSION not in wire.versions:
+            raise ProtocolError(
+                f"server speaks versions {wire.versions}, not {PROTOCOL_VERSION}"
+            )
+        return wire
+
+    def _recv_exactly(self, n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = self._sock.recv(n - len(buf))
+            if not chunk:
+                raise ConnectionError("server closed the stream mid-frame")
+            buf += chunk
+        return bytes(buf)
+
+    # -- frame API ------------------------------------------------------
+
+    def send_frame(self, frame: Frame) -> None:
+        """Send one masked text frame (thread-safe)."""
+        data = ws.build_frame(ws.OP_TEXT, frame.encode().encode(), mask=True)
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def submit(self, wire: WireFit | dict, *, frame_id: str | None = None) -> str:
+        """Send one fit frame (``WireFit`` or dict payload); returns its id."""
+        wire = _coerce_wire_fit(wire)
+        frame_id = frame_id if frame_id is not None else uuid.uuid4().hex
+        self.send_frame(Frame("fit", wire.to_payload(), id=frame_id))
+        return frame_id
+
+    def recv_frame(self) -> Frame:
+        """Read the next data frame (transparently answering pings)."""
+        while True:
+            opcode, payload = ws.read_message_sync(self._recv_exactly)
+            if opcode == ws.OP_PING:
+                with self._send_lock:
+                    self._sock.sendall(ws.build_frame(ws.OP_PONG, payload, mask=True))
+                continue
+            if opcode == ws.OP_PONG:
+                continue
+            if opcode == ws.OP_CLOSE:
+                raise ConnectionError("server closed the stream")
+            return decode_frame(payload)
+
+    def collect(self, frame_ids: set[str] | list[str]) -> dict[str, WireResult | Exception]:
+        """Read frames until every id in ``frame_ids`` has a response.
+
+        Returns a mapping of correlation id to :class:`WireResult` or the
+        reconstructed typed exception; unsolicited frames are an error.
+        """
+        pending = set(frame_ids)
+        out: dict[str, WireResult | Exception] = {}
+        while pending:
+            frame = self.recv_frame()
+            if frame.id is None or frame.id not in pending:
+                raise ProtocolError(f"unexpected frame {frame.kind!r} id={frame.id!r}")
+            pending.discard(frame.id)
+            if frame.kind == "result":
+                out[frame.id] = WireResult.from_payload(frame.payload)
+            elif frame.kind == "error":
+                out[frame.id] = frame_to_error(WireError.from_payload(frame.payload))
+            else:
+                raise ProtocolError(f"streams answer result/error frames, got {frame.kind!r}")
+        return out
+
+    def close(self) -> None:
+        """Send a close frame (best effort) and drop the socket."""
+        try:
+            with self._send_lock:
+                self._sock.sendall(
+                    ws.build_frame(ws.OP_CLOSE, b"\x03\xe8", mask=True)  # 1000
+                )
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "StreamClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,229 @@
+"""Minimal RFC 6455 WebSocket framing shared by the server and the client.
+
+The container ships no third-party WebSocket stack, so the network edge
+carries its own: the handshake accept-key derivation and the byte-level
+frame codec (FIN/opcode header, 7/16/64-bit lengths, client-side masking).
+Two read paths share the same header logic — an ``asyncio`` one for the
+server (:func:`read_message`) and a blocking one for the bundled client
+(:func:`read_message_sync`) — both reassembling fragmented messages and
+surfacing control frames to the caller.
+
+Scope is deliberately the subset the fit protocol uses: text and close
+frames plus ping/pong, no extensions, no per-message compression.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import Awaitable, Callable
+
+__all__ = [
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "WebSocketProtocolError",
+    "accept_key",
+    "build_frame",
+    "read_message",
+    "read_message_sync",
+]
+
+#: RFC 6455 handshake GUID appended to the client key before hashing.
+_HANDSHAKE_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONTINUATION = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Control opcodes may interleave with fragmented messages but never
+#: fragment themselves.
+_CONTROL_OPCODES = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+
+
+class WebSocketProtocolError(RuntimeError):
+    """The peer violated RFC 6455 framing rules (connection must close)."""
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((client_key + _HANDSHAKE_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def build_frame(opcode: int, payload: bytes, *, mask: bool = False, fin: bool = True) -> bytes:
+    """Serialise one frame; clients must set ``mask=True`` (RFC 6455 5.1)."""
+    header = bytearray()
+    header.append((0x80 if fin else 0x00) | (opcode & 0x0F))
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = _apply_mask(payload, key)
+    return bytes(header) + payload
+
+
+def _apply_mask(payload: bytes, key: bytes) -> bytes:
+    # XOR-mask via int arithmetic: fast enough for the frame sizes the fit
+    # protocol moves, with no dependency on numpy here.
+    repeated = (key * (len(payload) // 4 + 1))[: len(payload)]
+    return (int.from_bytes(payload, "big") ^ int.from_bytes(repeated, "big")).to_bytes(
+        len(payload), "big"
+    ) if payload else payload
+
+
+def _decode_header(first: bytes, require_masked: bool) -> tuple[bool, int, bool, int]:
+    b0, b1 = first[0], first[1]
+    fin = bool(b0 & 0x80)
+    if b0 & 0x70:
+        raise WebSocketProtocolError("reserved bits set without a negotiated extension")
+    opcode = b0 & 0x0F
+    masked = bool(b1 & 0x80)
+    if require_masked and not masked:
+        raise WebSocketProtocolError("client frames must be masked")
+    length = b1 & 0x7F
+    if opcode in _CONTROL_OPCODES and (not fin or length > 125):
+        raise WebSocketProtocolError("control frames must be unfragmented and short")
+    return fin, opcode, masked, length
+
+
+async def _read_frame(
+    read_exactly: Callable[[int], Awaitable[bytes]], *, require_masked: bool, max_size: int
+) -> tuple[bool, int, bytes]:
+    fin, opcode, masked, length = _decode_header(await read_exactly(2), require_masked)
+    if length == 126:
+        (length,) = struct.unpack("!H", await read_exactly(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", await read_exactly(8))
+    if length > max_size:
+        raise WebSocketProtocolError(f"frame of {length} bytes exceeds the {max_size} byte limit")
+    key = await read_exactly(4) if masked else b""
+    payload = await read_exactly(length) if length else b""
+    if masked:
+        payload = _apply_mask(payload, key)
+    return fin, opcode, payload
+
+
+async def read_message(
+    read_exactly: Callable[[int], Awaitable[bytes]],
+    *,
+    require_masked: bool = True,
+    max_size: int = 16 * 1024 * 1024,
+) -> tuple[int, bytes]:
+    """Read one complete message (async), reassembling fragments.
+
+    Parameters
+    ----------
+    read_exactly:
+        Coroutine reading exactly ``n`` bytes (``StreamReader.readexactly``).
+    require_masked:
+        Enforce client-side masking (servers must pass ``True``).
+    max_size:
+        Reject any single message larger than this many bytes.
+
+    Returns
+    -------
+    tuple[int, bytes]
+        ``(opcode, payload)`` where ``opcode`` is the message's first
+        (non-continuation) opcode; control frames return as themselves.
+    """
+    fin, opcode, payload = await _read_frame(
+        read_exactly, require_masked=require_masked, max_size=max_size
+    )
+    if opcode in _CONTROL_OPCODES or fin:
+        if opcode == OP_CONTINUATION:
+            raise WebSocketProtocolError("continuation frame without a preceding fragment")
+        return opcode, payload
+    if opcode == OP_CONTINUATION:
+        raise WebSocketProtocolError("continuation frame without a preceding fragment")
+    parts = [payload]
+    total = len(payload)
+    while True:
+        fin, next_opcode, payload = await _read_frame(
+            read_exactly, require_masked=require_masked, max_size=max_size
+        )
+        if next_opcode in _CONTROL_OPCODES:
+            # Control frames may interleave; the fit protocol only ever
+            # needs close/ping mid-message, which the caller handles by
+            # reading again — so surface them immediately.
+            return next_opcode, payload
+        if next_opcode != OP_CONTINUATION:
+            raise WebSocketProtocolError("expected a continuation frame")
+        total += len(payload)
+        if total > max_size:
+            raise WebSocketProtocolError(
+                f"fragmented message exceeds the {max_size} byte limit"
+            )
+        parts.append(payload)
+        if fin:
+            return opcode, b"".join(parts)
+
+
+def read_message_sync(
+    recv_exactly: Callable[[int], bytes],
+    *,
+    require_masked: bool = False,
+    max_size: int = 16 * 1024 * 1024,
+) -> tuple[int, bytes]:
+    """Blocking twin of :func:`read_message` for the bundled client.
+
+    ``recv_exactly`` must read exactly ``n`` bytes from the socket (raising
+    on EOF); servers send unmasked frames, so the default does not require
+    masking.
+    """
+
+    def read_frame() -> tuple[bool, int, bytes]:
+        fin, opcode, masked, length = _decode_header(recv_exactly(2), require_masked)
+        if length == 126:
+            (length,) = struct.unpack("!H", recv_exactly(2))
+        elif length == 127:
+            (length,) = struct.unpack("!Q", recv_exactly(8))
+        if length > max_size:
+            raise WebSocketProtocolError(
+                f"frame of {length} bytes exceeds the {max_size} byte limit"
+            )
+        key = recv_exactly(4) if masked else b""
+        payload = recv_exactly(length) if length else b""
+        if masked:
+            payload = _apply_mask(payload, key)
+        return fin, opcode, payload
+
+    fin, opcode, payload = read_frame()
+    if opcode in _CONTROL_OPCODES or fin:
+        if opcode == OP_CONTINUATION:
+            raise WebSocketProtocolError("continuation frame without a preceding fragment")
+        return opcode, payload
+    if opcode == OP_CONTINUATION:
+        raise WebSocketProtocolError("continuation frame without a preceding fragment")
+    parts = [payload]
+    total = len(payload)
+    while True:
+        fin, next_opcode, payload = read_frame()
+        if next_opcode in _CONTROL_OPCODES:
+            return next_opcode, payload
+        if next_opcode != OP_CONTINUATION:
+            raise WebSocketProtocolError("expected a continuation frame")
+        total += len(payload)
+        if total > max_size:
+            raise WebSocketProtocolError(
+                f"fragmented message exceeds the {max_size} byte limit"
+            )
+        parts.append(payload)
+        if fin:
+            return opcode, b"".join(parts)

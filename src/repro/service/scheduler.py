@@ -489,6 +489,25 @@ class MicroBatchScheduler:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown(drain=exc_type is None)
 
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`shutdown` has been called (or after a crash)."""
+        return self._closed
+
+    @property
+    def crashed(self) -> bool:
+        """``True`` when the batcher thread died and the service is down."""
+        return self._crashed is not None
+
+    def queue_depth(self) -> int:
+        """Number of accepted requests waiting in the intake queue."""
+        return self._queue.qsize()
+
+    def outstanding(self) -> int:
+        """Number of accepted requests not yet resolved (queued + solving)."""
+        with self._outstanding_cond:
+            return self._outstanding
+
     def stats(self) -> dict:
         """Queue depth, in-flight count, knobs, and pool/cache/telemetry stats."""
         with self._outstanding_cond:

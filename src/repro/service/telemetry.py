@@ -89,13 +89,18 @@ class Telemetry:
       serial path), ``scheduler_crashes``;
     * histograms — ``latency_seconds`` (submit to result, cache hits
       included), ``batch_size``, ``solve_seconds`` (per-batch solve
-      duration feeding the adaptive window).
+      duration feeding the adaptive window);
+    * network-edge counters/gauges — per-route counters
+      (``net_route_<name>``), ``net_http_requests`` / ``net_ws_messages``,
+      and the point-in-time gauges ``net_connections`` /
+      ``net_ws_inflight`` written by :class:`repro.service.net.FitServer`.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: defaultdict[str, int] = defaultdict(int)
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, float] = {}
         self._started_at: float | None = None
         self._last_event_at: float | None = None
 
@@ -119,6 +124,32 @@ class Telemetry:
                 histogram = self._histograms[name] = Histogram()
             histogram.observe(value)
             self._touch()
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the point-in-time gauge ``name`` to ``value``.
+
+        Gauges model *current* levels (open connections, in-flight stream
+        requests) rather than monotonically growing counts; the network
+        edge writes them and :meth:`snapshot` reports the latest values.
+        """
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def adjust_gauge(self, name: str, delta: float) -> float:
+        """Add ``delta`` to the gauge ``name`` (creating it at zero).
+
+        Returns the new value; connection open/close paths use the
+        increment/decrement form so concurrent writers stay consistent.
+        """
+        with self._lock:
+            value = self._gauges.get(name, 0.0) + float(delta)
+            self._gauges[name] = value
+            return value
+
+    def gauge(self, name: str) -> float:
+        """Current value of the gauge ``name`` (zero if never written)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
 
     def record_batch(self, counters: dict, observations: dict) -> None:
         """Apply many counter increments and observations in one locked pass.
@@ -155,6 +186,7 @@ class Telemetry:
         with self._lock:
             self._counters.clear()
             self._histograms.clear()
+            self._gauges.clear()
             self._started_at = None
             self._last_event_at = None
 
@@ -178,7 +210,8 @@ class Telemetry:
         -------
         dict
             ``counters`` (name to int), ``histograms`` (name to
-            :meth:`Histogram.summary`), ``elapsed_seconds``,
+            :meth:`Histogram.summary`), ``gauges`` (name to the latest
+            point-in-time value), ``elapsed_seconds``,
             ``throughput_rps`` (completed requests over the event span),
             ``coalescing_factor`` (batched requests per dispatched batch;
             1.0 when nothing was batched yet), and the SLO rates
@@ -189,6 +222,7 @@ class Telemetry:
         with self._lock:
             counters = dict(self._counters)
             histograms = {name: h.summary() for name, h in self._histograms.items()}
+            gauges = dict(self._gauges)
             if self._started_at is None or self._last_event_at is None:
                 elapsed = 0.0
             else:
@@ -200,6 +234,7 @@ class Telemetry:
         return {
             "counters": counters,
             "histograms": histograms,
+            "gauges": gauges,
             "elapsed_seconds": elapsed,
             "throughput_rps": (completed / elapsed) if elapsed > 0 else 0.0,
             "coalescing_factor": (batched / batches) if batches > 0 else 1.0,

@@ -1,0 +1,165 @@
+"""End-to-end HTTP integration tests against a live server on real sockets.
+
+The load-bearing property: results fetched over the wire by concurrent
+clients are *identical* (to 1e-10, with exact lambda agreement) to direct
+one-shot fits — the network edge, like the scheduler under it, changes how
+requests travel, never the numbers.  The ops routes must answer with live
+data while fit traffic is in flight.
+"""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.service import IntakeOverflow, max_coefficient_gap, serial_reference
+from repro.service.net import (
+    FitHTTPClient,
+    ProtocolError,
+    WireFit,
+    WireResult,
+)
+
+NUM_CLIENTS = 4
+
+
+class TestEquivalenceOverTheWire:
+    def test_concurrent_clients_match_serial_reference(
+        self, live_server, net_factory, net_workload
+    ):
+        wires = [WireFit.from_request(request) for request in net_workload]
+        slots: list = [None] * len(wires)
+
+        def run_client(offset):
+            with FitHTTPClient(live_server.host, live_server.port) as client:
+                for index in range(offset, len(wires), NUM_CLIENTS):
+                    slots[index] = client.fit(wires[index])
+
+        with concurrent.futures.ThreadPoolExecutor(NUM_CLIENTS) as executor:
+            list(executor.map(run_client, range(NUM_CLIENTS)))
+
+        assert all(isinstance(result, WireResult) for result in slots)
+        references = serial_reference(net_factory("reference"), net_workload)
+        assert max_coefficient_gap(slots, references) <= 1e-10
+        # Lambda selections agree exactly — not approximately — across the
+        # wire: JSON repr floats round-trip bit-exactly.
+        assert [r.lam for r in slots] == [r.lam for r in references]
+
+    def test_batch_route_matches_serial_reference(
+        self, live_server, net_factory, net_workload
+    ):
+        wires = [WireFit.from_request(request) for request in net_workload[:8]]
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            results = client.fit_batch(wires)
+        assert all(isinstance(result, WireResult) for result in results)
+        references = serial_reference(net_factory("reference"), net_workload[:8])
+        assert max_coefficient_gap(results, references) <= 1e-10
+        assert [r.lam for r in results] == [r.lam for r in references]
+
+    def test_diagnostics_travel_on_request(self, live_server, net_workload):
+        wire = WireFit.from_request(net_workload[0], include_diagnostics=True, tag="diag")
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            result = client.fit(wire)
+        assert result.tag == "diag"
+        assert result.diagnostics is not None
+        assert set(result.diagnostics) == {"data_misfit", "roughness"}
+
+
+class TestOpsRoutesUnderLoad:
+    def test_healthz_and_metrics_are_live_during_traffic(
+        self, live_server, net_workload
+    ):
+        wires = [WireFit.from_request(request) for request in net_workload]
+        stop = threading.Event()
+        first_done = threading.Event()
+        errors: list = []
+
+        def hammer():
+            try:
+                with FitHTTPClient(live_server.host, live_server.port) as client:
+                    index = 0
+                    while not stop.is_set():
+                        client.fit(wires[index % len(wires)])
+                        first_done.set()
+                        index += 1
+            except Exception as exc:  # surfaced below, not swallowed
+                errors.append(exc)
+
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        try:
+            assert first_done.wait(timeout=60.0), "no fit completed over the wire"
+            with FitHTTPClient(live_server.host, live_server.port) as ops:
+                health = ops.healthz()
+                metrics = ops.metrics()
+                pool = ops.pool()
+                backends_doc = ops.backends()
+        finally:
+            stop.set()
+            worker.join(timeout=60.0)
+        assert not errors
+        assert health["status"] == "ok"
+        assert health["crashed"] is False
+        assert metrics["counters"]["net_http_requests"] > 0
+        assert metrics["counters"]["net_route_fit"] > 0
+        assert metrics["counters"]["completed"] > 0
+        assert metrics["gauges"]["net_connections"] >= 1
+        assert "server" in metrics and metrics["server"]["port"] == live_server.port
+        assert "queue_depth" in pool or "pool" in pool
+        assert any(entry["active"] for entry in backends_doc["backends"])
+
+    def test_route_counters_increment_per_route(self, live_server):
+        telemetry = live_server.server.telemetry
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            before = telemetry.counter("net_route_healthz")
+            client.healthz()
+            client.healthz()
+            assert telemetry.counter("net_route_healthz") == before + 2
+            client.metrics()
+            assert telemetry.counter("net_route_metrics") >= 1
+
+    def test_index_lists_routes(self, live_server):
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            index = client.get_json("/")
+        assert index["protocol_versions"] == [1]
+        assert any("fit" in route for route in index["routes"])
+
+
+class TestTypedErrorsOverTheWire:
+    def test_malformed_fit_raises_protocol_error(self, live_server):
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            with pytest.raises(ProtocolError):
+                client.fit(WireFit(times=[1.0, 2.0], measurements=[1.0]))
+
+    def test_unknown_route_raises_protocol_error(self, live_server):
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            status, data = client._round_trip("GET", "/no/such/route")
+        assert status == 404
+
+    def test_solver_rejection_maps_to_bad_request(self, live_server, net_workload):
+        # A structurally valid frame the solver itself rejects (unknown
+        # lambda selection method → ValueError): the edge answers a typed
+        # bad_request frame and the client re-raises ProtocolError.
+        wire = WireFit.from_request(net_workload[0])
+        wire.lambda_method = "no-such-method"
+        wire.lam = None
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            with pytest.raises(ProtocolError):
+                client.fit(wire)
+
+    def test_partial_batch_overflow_contract(self, live_server, net_workload):
+        # An empty batch stays a valid (trivially complete) batch.
+        with FitHTTPClient(live_server.host, live_server.port) as client:
+            assert client.fit_batch([]) == []
+
+    def test_overflow_errors_reconstruct_client_side(self):
+        # The client-side reconstruction the batch route relies on.
+        from repro.service.net import WireError, frame_to_error
+
+        frame = WireError(
+            code="intake_overflow", message="full", http_status=429,
+            transient=True, details={"accepted": 2, "rejected": 1},
+        )
+        exc = frame_to_error(frame)
+        assert isinstance(exc, IntakeOverflow)
+        assert exc.transient

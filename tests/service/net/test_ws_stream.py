@@ -1,0 +1,153 @@
+"""WebSocket streaming tests: round-trips, negotiation, backpressure.
+
+The backpressure regression is the load-bearing one: a stalled consumer
+must not grow unbounded server-side buffers (its in-flight work is capped
+at the advertised window) and must not stall *other* connections — and
+once the slow reader resumes, every response it was owed still arrives.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import max_coefficient_gap, serial_reference
+from repro.service.net import Frame, ProtocolError, StreamClient, WireFit, WireResult
+
+
+class TestStreamRoundTrip:
+    def test_hello_advertises_versions_and_window(self, live_server):
+        with StreamClient(live_server.host, live_server.port) as stream:
+            assert stream.hello.versions == [1]
+            assert stream.hello.max_inflight == live_server.server.max_inflight
+
+    def test_streamed_fits_match_serial_reference(
+        self, live_server, net_factory, net_workload
+    ):
+        wires = [WireFit.from_request(request) for request in net_workload]
+        with StreamClient(live_server.host, live_server.port) as stream:
+            ids = [stream.submit(wire) for wire in wires]
+            responses = stream.collect(ids)
+        assert all(isinstance(responses[i], WireResult) for i in ids)
+        results = [responses[i] for i in ids]
+        references = serial_reference(net_factory("reference"), net_workload)
+        assert max_coefficient_gap(results, references) <= 1e-10
+        assert [r.lam for r in results] == [r.lam for r in references]
+
+    def test_malformed_fit_answers_typed_error_and_stream_survives(
+        self, live_server, net_workload
+    ):
+        with StreamClient(live_server.host, live_server.port) as stream:
+            bad_id = stream.submit(WireFit(times=[1.0, 2.0], measurements=[1.0]))
+            good_id = stream.submit(WireFit.from_request(net_workload[0]))
+            responses = stream.collect([bad_id, good_id])
+        assert isinstance(responses[bad_id], ProtocolError)
+        assert isinstance(responses[good_id], WireResult)
+
+    def test_version_mismatch_answers_error_then_close(self, live_server):
+        with StreamClient(live_server.host, live_server.port) as stream:
+            stream.send_frame(Frame("fit", {}, version=99))
+            reply = stream.recv_frame()
+            assert reply.kind == "error"
+            assert reply.payload["code"] == "version_mismatch"
+            with pytest.raises(ConnectionError):
+                stream.recv_frame()  # server closes after a version breach
+
+
+class TestSlowConsumerBackpressure:
+    def test_stalled_reader_is_window_capped_and_recovers(
+        self, live_server, net_workload
+    ):
+        """The regression: a reader that stops consuming must not let the
+        server buffer more than the in-flight window for its connection,
+        and must still receive everything once it resumes."""
+        window = live_server.server.max_inflight
+        wires = [WireFit.from_request(request) for request in net_workload]
+        submitted = 3 * window + 2
+        with StreamClient(live_server.host, live_server.port) as slow:
+            ids = [
+                slow.submit(wires[index % len(wires)], frame_id=f"slow-{index}")
+                for index in range(submitted)
+            ]
+            # Stall: submit everything, read nothing, let the server work.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                stats = live_server.stats()["streams"]
+                if stats and any(s["resolved"] + s["inflight"] >= window for s in stats.values()):
+                    break
+                time.sleep(0.05)
+            stream_stats = list(live_server.stats()["streams"].values())
+            assert stream_stats, "stream connection not tracked"
+            state = stream_stats[0]
+            # The structural invariant: in-flight work (and the outbox
+            # behind it) never exceeded the advertised window even though
+            # 3x+2 requests were submitted and none were read.
+            assert state["peak_inflight"] <= window
+            assert state["peak_outbox"] <= window + 1
+            # Resume reading: every submitted request still gets its answer.
+            responses = slow.collect(ids)
+        assert len(responses) == submitted
+        assert all(isinstance(responses[i], WireResult) for i in ids)
+        assert live_server.stats()["peak_stream_inflight"] <= window
+
+    def test_stalled_reader_does_not_stall_other_connections(
+        self, live_server, net_workload
+    ):
+        window = live_server.server.max_inflight
+        wires = [WireFit.from_request(request) for request in net_workload]
+        fast_done = threading.Event()
+        fast_results: dict = {}
+        errors: list = []
+
+        def fast_consumer():
+            try:
+                with StreamClient(live_server.host, live_server.port) as fast:
+                    ids = [fast.submit(wire) for wire in wires[:6]]
+                    fast_results.update(fast.collect(ids))
+                fast_done.set()
+            except Exception as exc:
+                errors.append(exc)
+
+        with StreamClient(live_server.host, live_server.port) as slow:
+            # Saturate the slow connection's window and beyond, then stall.
+            slow_ids = [
+                slow.submit(wires[index % len(wires)], frame_id=f"s{index}")
+                for index in range(2 * window + 1)
+            ]
+            worker = threading.Thread(target=fast_consumer)
+            worker.start()
+            # The fast consumer must finish while the slow one is stalled.
+            assert fast_done.wait(timeout=120.0), (
+                f"fast connection stalled behind a slow consumer; errors={errors}"
+            )
+            worker.join(timeout=10.0)
+            assert not errors
+            assert len(fast_results) == 6
+            assert all(isinstance(v, WireResult) for v in fast_results.values())
+            # The slow connection still drains completely afterwards.
+            slow_responses = slow.collect(slow_ids)
+        assert all(isinstance(v, WireResult) for v in slow_responses.values())
+
+    def test_inflight_gauge_settles_to_zero(self, live_server, net_workload):
+        telemetry = live_server.server.telemetry
+        wires = [WireFit.from_request(request) for request in net_workload[:5]]
+        with StreamClient(live_server.host, live_server.port) as stream:
+            ids = [stream.submit(wire) for wire in wires]
+            stream.collect(ids)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and telemetry.gauge("net_ws_inflight") != 0:
+            time.sleep(0.02)
+        assert telemetry.gauge("net_ws_inflight") == 0
+        assert telemetry.counter("net_ws_results") >= len(wires)
+
+
+class TestPingPong:
+    def test_ping_is_answered_transparently(self, live_server):
+        from repro.service.net import ws
+
+        with StreamClient(live_server.host, live_server.port) as stream:
+            with stream._send_lock:
+                stream._sock.sendall(ws.build_frame(ws.OP_PING, b"hb", mask=True))
+            opcode, payload = ws.read_message_sync(stream._recv_exactly)
+            assert opcode == ws.OP_PONG
+            assert payload == b"hb"

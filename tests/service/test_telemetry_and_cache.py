@@ -59,11 +59,50 @@ class TestTelemetry:
         telemetry = Telemetry()
         telemetry.increment("requests")
         telemetry.observe("h", 1.0)
+        telemetry.set_gauge("net_connections", 2.0)
         telemetry.reset()
         snapshot = telemetry.snapshot()
         assert snapshot["counters"] == {}
         assert snapshot["histograms"] == {}
+        assert snapshot["gauges"] == {}
         assert snapshot["elapsed_seconds"] == 0.0
+
+    def test_gauges_set_adjust_and_snapshot(self):
+        telemetry = Telemetry()
+        assert telemetry.gauge("net_connections") == 0.0
+        telemetry.set_gauge("net_connections", 3.0)
+        assert telemetry.gauge("net_connections") == 3.0
+        assert telemetry.adjust_gauge("net_connections", -1.0) == 2.0
+        assert telemetry.adjust_gauge("net_ws_inflight", 5.0) == 5.0
+        snapshot = telemetry.snapshot()
+        assert snapshot["gauges"] == {"net_connections": 2.0, "net_ws_inflight": 5.0}
+
+    def test_gauges_are_levels_not_counters(self):
+        telemetry = Telemetry()
+        telemetry.adjust_gauge("net_connections", 1.0)
+        telemetry.adjust_gauge("net_connections", 1.0)
+        telemetry.adjust_gauge("net_connections", -2.0)
+        # A gauge returns to zero when every open is matched by a close —
+        # unlike a counter, which only ever grows.
+        assert telemetry.gauge("net_connections") == 0.0
+        assert telemetry.counter("net_connections") == 0
+
+    def test_gauge_writes_are_thread_safe(self):
+        import threading
+
+        telemetry = Telemetry()
+
+        def churn():
+            for _ in range(500):
+                telemetry.adjust_gauge("g", 1.0)
+                telemetry.adjust_gauge("g", -1.0)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert telemetry.gauge("g") == 0.0
 
 
 class TestRequestFingerprint:
