@@ -179,6 +179,36 @@ PR6_BASELINE_SECONDS = {
     "service_slo": 2.186e-2,
 }
 
+# Timings of the PR 8 network-edge tree (which also carries PR 7's pluggable
+# kernel-backend dispatch — PR 7 never refreshed the committed baseline, so
+# its anchor and PR 8's are one snapshot) at the default sizes (same
+# machine): the values of PR 8's committed BENCH_solvepath.json.  They
+# anchor the ``speedup_vs_pr8`` column — what the process execution engine
+# and the cross-lambda stacked eig-solve bought.  On a single-core container
+# the multi-core win cannot show here; the stacked mixed-lambda solve shows
+# up in ``service_throughput`` (mixed-lambda micro-batches collapse to one
+# LAPACK call), and the core-scaling curve lives in the report's
+# ``service_scaling`` section, which PR 8 had no counterpart for.
+PR8_BASELINE_SECONDS = {
+    "qp_solve": 5.321e-5,
+    "qp_solve_warm": 4.239e-5,
+    "qp_solve_batch": 2.368e-4,
+    "problem_assembly_cold": 3.270e-3,
+    "problem_assembly_warm": 5.044e-4,
+    "problem_assembly_compiled": 2.771e-3,
+    "lambda_gcv": 2.696e-4,
+    "lambda_kfold": 1.482e-3,
+    "bootstrap": 2.309e-3,
+    "kernel_build": 5.239e-3,
+    "kernel_build_compiled": 5.367e-3,
+    "fit_many_gcv": 2.662e-3,
+    "fit_many_kfold": 1.672e-2,
+    "session_multi_grid": 2.130e-3,
+    "fit_stream": 1.270e-3,
+    "service_throughput": 1.927e-2,
+    "service_slo": 2.787e-2,
+}
+
 DEFAULT_CONFIG = {
     "num_cells": 6000,
     "phase_bins": 80,
@@ -305,6 +335,13 @@ def run_solvepath_benchmark(
       carries the shed rate, deadline-miss rate, p95 latency and the SLO
       verdict — the cost and behaviour of the admission-control machinery
       under skewed traffic.
+    * ``service_scaling`` -- the throughput workload through the *process*
+      runner (``MicroBatchScheduler(runner="process")``) at increasing
+      worker counts; the stage value is the highest-count point and the
+      report's ``service_scaling`` section carries the whole curve (rps,
+      p95 and verified gap per point) plus the host core count.  The curve
+      is informational on purpose: a single-core container cannot show the
+      multi-core win, only its overhead.
     """
     from repro import backends as kernel_backends
     from repro.cellcycle.kernel import KernelBuilder
@@ -611,6 +648,68 @@ def run_solvepath_benchmark(
         "slo_passed": bool(slo_verdict["passed"]),
     }
 
+    # Service core-scaling: the same workload through the process runner at
+    # increasing worker counts.  Each point gets a fresh scheduler whose
+    # spawned workers hold their own warm session replicas, so a hot shard
+    # fans out across real cores instead of serializing under the GIL.  The
+    # curve is *reported*, never asserted — on a single-core container every
+    # point necessarily lands near the 1-worker rps, and the spawn/IPC
+    # overhead is exactly what the report should show there.
+    import os as _os
+
+    from repro.service import SessionFactory
+
+    scaling_factory = SessionFactory(
+        parameters=parameters, num_basis=int(num_basis), kernels=session_kernels
+    )
+    scaling_counts = (1, 2, 4) if int(num_service) >= 64 else (1, 2)
+    scaling_points: list[dict] = []
+    for count in scaling_counts:
+        scaling_scheduler = MicroBatchScheduler(
+            SessionPool(scaling_factory),
+            max_batch=64,
+            max_wait_ms=0.2,
+            runner="process",
+            workers=count,
+        )
+        scaling_scheduler.map(workload)  # spawn + warm the worker replicas
+
+        def run_scaling() -> None:
+            scaling_scheduler.cache.clear()
+            scaling_scheduler.map(workload)
+
+        point_seconds = _time(run_scaling, repeats)
+        scaling_scheduler.cache.clear()
+        scaling_scheduler.telemetry.reset()
+        scaling_results = scaling_scheduler.map(workload)
+        scaling_snapshot = scaling_scheduler.telemetry.snapshot()
+        scaling_scheduler.shutdown()
+        scaling_points.append(
+            {
+                "workers": count,
+                "seconds": point_seconds,
+                "rps": round(len(workload) / point_seconds, 1),
+                "p95_latency_ms": round(
+                    scaling_snapshot["histograms"]["latency_seconds"]["p95"] * 1e3, 3
+                ),
+                "speedup_vs_one_worker": round(
+                    scaling_points[0]["seconds"] / point_seconds, 2
+                )
+                if scaling_points
+                else 1.0,
+                "max_coefficient_gap": max_coefficient_gap(
+                    scaling_results, serial_results
+                ),
+            }
+        )
+    stages["service_scaling"] = scaling_points[-1]["seconds"]
+    scaling_report = {
+        "requests": len(workload),
+        "cpu_count": _os.cpu_count(),
+        "thread_runner_seconds": stages["service_throughput"],
+        "points": scaling_points,
+    }
+
     config = {
         "num_cells": int(num_cells),
         "phase_bins": int(phase_bins),
@@ -650,6 +749,7 @@ def run_solvepath_benchmark(
         "stages_seconds": stages,
         "service": service_report,
         "service_slo": slo_report,
+        "service_scaling": scaling_report,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS if is_default else None,
         "speedup_vs_seed": baseline_speedups(SEED_BASELINE_SECONDS),
         "pr1_baseline_seconds": PR1_BASELINE_SECONDS if is_default else None,
@@ -664,6 +764,8 @@ def run_solvepath_benchmark(
         "speedup_vs_pr5": baseline_speedups(PR5_BASELINE_SECONDS),
         "pr6_baseline_seconds": PR6_BASELINE_SECONDS if is_default else None,
         "speedup_vs_pr6": baseline_speedups(PR6_BASELINE_SECONDS),
+        "pr8_baseline_seconds": PR8_BASELINE_SECONDS if is_default else None,
+        "speedup_vs_pr8": baseline_speedups(PR8_BASELINE_SECONDS),
         "platform": platform.platform(),
     }
 
@@ -702,6 +804,7 @@ def format_report(report: dict) -> str:
     pr4_speedups = report.get("speedup_vs_pr4") or {}
     pr5_speedups = report.get("speedup_vs_pr5") or {}
     pr6_speedups = report.get("speedup_vs_pr6") or {}
+    pr8_speedups = report.get("speedup_vs_pr8") or {}
     for stage, seconds in sorted(report["stages_seconds"].items()):
         ran_on = compiled_name if stage.endswith("_compiled") else active_name
         line = f"  {stage:26s} {seconds * 1e3:10.3f} ms  [{ran_on}]"
@@ -719,6 +822,8 @@ def format_report(report: dict) -> str:
             line += f"   ({pr5_speedups[stage]:.1f}x vs PR5)"
         if stage in pr6_speedups:
             line += f"   ({pr6_speedups[stage]:.1f}x vs PR6)"
+        if stage in pr8_speedups:
+            line += f"   ({pr8_speedups[stage]:.1f}x vs PR8)"
         lines.append(line)
     service = report.get("service")
     if service:
@@ -735,6 +840,17 @@ def format_report(report: dict) -> str:
             "SLO {verdict}".format(
                 verdict="pass" if slo["slo_passed"] else "FAIL", **slo
             )
+        )
+    scaling = report.get("service_scaling")
+    if scaling:
+        curve = ", ".join(
+            "{workers}w {rps:.0f} rps ({speedup_vs_one_worker:.2f}x, "
+            "p95 {p95_latency_ms:.1f} ms)".format(**point)
+            for point in scaling["points"]
+        )
+        lines.append(
+            f"  service_scaling ({scaling['cpu_count']} cores, "
+            f"{scaling['requests']} requests, process runner): {curve}"
         )
     return "\n".join(lines)
 

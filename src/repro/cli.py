@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli sensitivity
     python -m repro.cli ablations [--study volume|constraints|lambda|all]
     python -m repro.cli serve-bench [--requests 96] [--grids 2] [--verbose]
+    python -m repro.cli serve-bench --runner process --workers 4 --scaling 1,2,4
     python -m repro.cli serve-bench --http [--http-clients 4]
     python -m repro.cli serve [--host 127.0.0.1] [--port 8732]
     python -m repro.cli backends
@@ -35,6 +36,7 @@ availability and the active selection.
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Sequence
 
 import numpy as np
@@ -125,10 +127,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fraction of fresh requests using automatic lambda selection")
     serve.add_argument("--max-batch", type=int, default=64, help="scheduler batch size bound")
     serve.add_argument("--max-wait-ms", type=float, default=0.2, help="scheduler batching window")
-    serve.add_argument("--workers", type=int, default=2, help="scheduler worker threads")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scheduler workers (threads, or processes with --runner process)")
+    serve.add_argument(
+        "--runner",
+        choices=["thread", "process"],
+        default=None,
+        help="batch runner: in-process threads (default) or the multi-core "
+             f"process engine; unset consults ${config.RUNNER_ENV_VAR}",
+    )
+    serve.add_argument(
+        "--scaling",
+        type=str,
+        default=None,
+        metavar="N1,N2,...",
+        help="core-scaling sweep: rerun the timed workload at each worker "
+             "count (e.g. 1,2,4) and report rps/p95/speedup per point",
+    )
     serve.add_argument(
         "--scenario",
-        choices=["all", "steady", "bursty", "heavy_tail", "hotkey", "cache_hostile"],
+        choices=["all", "steady", "bursty", "heavy_tail", "hotkey",
+                 "cache_hostile", "slow_consumer"],
         default=None,
         help="run the chaos scenario suite (deadlines, priorities, skew) instead of "
              "the plain throughput benchmark; 'all' runs every scenario",
@@ -159,7 +178,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="distinct measurement time grids to register")
     server.add_argument("--max-batch", type=int, default=64, help="scheduler batch size bound")
     server.add_argument("--max-wait-ms", type=float, default=0.2, help="scheduler batching window")
-    server.add_argument("--workers", type=int, default=2, help="scheduler worker threads")
+    server.add_argument("--workers", type=int, default=2,
+                        help="scheduler workers (threads, or processes with --runner process)")
+    server.add_argument(
+        "--runner",
+        choices=["thread", "process"],
+        default=None,
+        help="batch runner: in-process threads (default) or the multi-core "
+             f"process engine; unset consults ${config.RUNNER_ENV_VAR}",
+    )
     server.add_argument("--max-inflight", type=int, default=config.DEFAULT_STREAM_WINDOW,
                         help="per-connection in-flight window of the streaming route")
 
@@ -275,12 +302,14 @@ def _build_service_stack(cells: int, grids: int):
 
     Distinct measurement schedules are generated for however many grids were
     asked for (shrinking span and density so every grid is unique); the
-    returned factory creates one deconvolver per pool shard with every
-    kernel pre-registered.
+    returned :class:`~repro.service.pool.SessionFactory` creates one
+    deconvolver per pool shard with every kernel pre-registered.  It is
+    picklable on purpose: the same factory serves the thread runner's pool
+    and ships to the process runner's spawned workers.
     """
     from repro.cellcycle.kernel import KernelBuilder
     from repro.cellcycle.parameters import CellCycleParameters
-    from repro.core.deconvolver import Deconvolver
+    from repro.service import SessionFactory
 
     parameters = CellCycleParameters()
     builder = KernelBuilder(parameters, num_cells=cells, phase_bins=60)
@@ -290,14 +319,7 @@ def _build_service_stack(cells: int, grids: int):
     ]
     print(f"Building {len(schedules)} population kernel(s) ({cells} cells each) ...")
     kernels = [builder.build(times, rng=index) for index, times in enumerate(schedules)]
-
-    def factory(_key):
-        deconvolver = Deconvolver(parameters=parameters, num_basis=12)
-        session = deconvolver.session()
-        for kernel in kernels:
-            session.register_kernel(kernel)
-        return deconvolver
-
+    factory = SessionFactory(parameters=parameters, num_basis=12, kernels=kernels)
     return kernels, factory
 
 
@@ -337,7 +359,9 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
+        runner=args.runner,
     ) as scheduler:
+        print(f"runner: {scheduler.runner} ({scheduler.workers} worker(s))")
         # Warm both paths so the timed passes measure the steady-state
         # service, not first-request kernel/assembly setup.
         scheduler.map(workload)
@@ -355,6 +379,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         serial_seconds = time.perf_counter() - start
 
         gap = max_coefficient_gap(streamed, references)
+        lambdas_equal = [r.lam for r in streamed] == [r.lam for r in references]
         latency = snapshot["histograms"]["latency_seconds"]
         counters = snapshot["counters"]
         rows = [
@@ -381,11 +406,67 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 print(f"  session {key}: {session_stats}")
             print(f"  telemetry counters: {counters}")
             print(f"  batch size: {snapshot['histograms'].get('batch_size')}")
+            if scheduler.runner == "process":
+                print(f"  worker pool: {scheduler.stats()['worker_pool']}")
+    if args.scaling:
+        _run_serve_bench_scaling(args, workload, pool)
+    if not lambdas_equal:
+        print("FAILED: scheduler lambdas deviate from the one-shot fits")
+        return 1
     if gap > 1e-10:
         print(f"FAILED: scheduler responses deviate from direct fits by {gap:.2e} (> 1e-10)")
         return 1
-    print("ok: every scheduler response matches its one-shot fit to 1e-10")
+    print("ok: every scheduler response matches its one-shot fit to 1e-10 "
+          "(exact lambda agreement)")
     return 0
+
+
+def _run_serve_bench_scaling(args: argparse.Namespace, workload, pool) -> None:
+    """Core-scaling sweep: rerun the timed workload at each worker count.
+
+    Each point gets a fresh scheduler (and, under the process runner, a
+    fresh worker pool) warmed before timing; the table reports throughput,
+    p95 latency and speedup versus the first (smallest) point.  On a
+    single-core container the curve is flat — the numbers are reported, not
+    gated, so the sweep stays meaningful everywhere.
+    """
+    import time
+
+    from repro.service import MicroBatchScheduler
+
+    counts = [int(part) for part in args.scaling.split(",") if part.strip()]
+    print(f"core-scaling sweep ({args.runner or 'default'} runner, "
+          f"{len(workload)} requests, {os.cpu_count()} cpu(s)):")
+    rows = []
+    base_rps = None
+    for count in counts:
+        with MicroBatchScheduler(
+            pool,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            workers=count,
+            runner=args.runner,
+        ) as scheduler:
+            scheduler.map(workload)  # warm sessions (and worker replicas)
+            scheduler.cache.clear()
+            scheduler.telemetry.reset()
+            start = time.perf_counter()
+            scheduler.map(workload)
+            seconds = time.perf_counter() - start
+            snapshot = scheduler.telemetry.snapshot()
+        rps = len(workload) / seconds
+        if base_rps is None:
+            base_rps = rps
+        rows.append([
+            float(count),
+            seconds * 1e3,
+            rps,
+            snapshot["histograms"]["latency_seconds"]["p95"] * 1e3,
+            rps / base_rps,
+        ])
+    print(format_table(
+        ["workers", "wall ms", "rps", "p95 ms", "speedup"], rows
+    ))
 
 
 def _run_serve_bench_http(args: argparse.Namespace, workload, pool, reference) -> int:
@@ -409,6 +490,7 @@ def _run_serve_bench_http(args: argparse.Namespace, workload, pool, reference) -
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
+        runner=args.runner,
     ) as scheduler:
         with serve_in_thread(scheduler) as handle:
             print(f"Serving on {handle.host}:{handle.port} "
@@ -502,6 +584,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
+        runner=args.runner,
     ) as scheduler:
         try:
             asyncio.run(serve())
@@ -563,20 +646,35 @@ def _run_serve_scenarios(args: argparse.Namespace, kernels, factory) -> int:
         )
         offsets = arrival_offsets(scenario, len(workload), seed=args.seed)
         plan = FaultPlan(scenario.faults) if args.faults else None
-        pool = SessionPool(plan.wrap_factory(factory) if plan is not None else factory)
+        pool_factory = factory
+        if plan is not None and args.runner != "process":
+            # The wrap is a closure, which cannot ship to spawned workers;
+            # under the process runner session builds happen worker-side
+            # anyway, so only the solve-boundary faults (armed via
+            # fault_plan below) are injected there.
+            pool_factory = plan.wrap_factory(factory)
+        pool = SessionPool(pool_factory)
         with MicroBatchScheduler(
             pool,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             workers=args.workers,
+            runner=args.runner,
             fault_plan=plan,
         ) as scheduler:
             start = time.perf_counter()
             futures = []
+            drained = 0
             for offset, request in zip(offsets, workload):
                 delay = float(offset) - (time.perf_counter() - start)
                 if delay > 0.0:
                     time.sleep(delay)
+                if scenario.client_window > 0:
+                    # Slow consumer: cap the submitted-but-unconsumed window,
+                    # blocking on the oldest response before submitting more.
+                    while len(futures) - drained >= scenario.client_window:
+                        concurrent.futures.wait([futures[drained]], timeout=300.0)
+                        drained += 1
                 futures.append(scheduler.submit(request))
             done, hung = concurrent.futures.wait(futures, timeout=300.0)
             snapshot = scheduler.telemetry.snapshot()

@@ -56,6 +56,16 @@ DEFAULT_BACKEND: str = "numpy"
 #: numpy reference with a logged warning).
 BACKEND_ENV_VAR: str = "REPRO_BACKEND"
 
+#: Environment variable selecting the service scheduler's batch runner
+#: (``REPRO_RUNNER=process`` enables the multi-core process runner when the
+#: pool factory is picklable; the default is the in-process thread runner).
+#: Read per scheduler instance, not once at import, so tests and embedders
+#: can flip it between constructions.
+RUNNER_ENV_VAR: str = "REPRO_RUNNER"
+
+#: Default service scheduler runner when :data:`RUNNER_ENV_VAR` is unset.
+DEFAULT_RUNNER: str = "thread"
+
 #: Worker cap for thread pools (GIL-bound work: the `fit_many` thread engine,
 #: the service scheduler's batch workers).
 DEFAULT_THREAD_POOL_CAP: int = 4

@@ -277,6 +277,14 @@ class Scenario:
         about ``burst_size`` back-to-back requests separated by
         ``burst_pause_ms`` quiet gaps.  ``burst_size=0`` submits everything
         at once (uniform open-loop load).
+    client_window:
+        Closed-loop client window: with a positive value the driver keeps at
+        most this many submitted-but-unconsumed responses outstanding,
+        waiting on the oldest before submitting more — a *slow consumer*.
+        Small windows starve the batcher of coalescing opportunities and
+        keep response payloads parked (in the process runner: response-ring
+        blocks held until the client drains), exercising the backpressure
+        path end to end.  ``0`` (default) is a fully open loop.
     faults:
         The :class:`~repro.service.faults.FaultSpec` armed when the caller
         asks for fault injection (all-zero spec = nothing to arm).
@@ -295,6 +303,7 @@ class Scenario:
     repeat_ratio: float | None = None
     burst_size: int = 0
     burst_pause_ms: float = 0.0
+    client_window: int = 0
     faults: FaultSpec = field(default_factory=FaultSpec)
     slo: SLOTarget = field(default_factory=SLOTarget)
 
@@ -361,6 +370,15 @@ SCENARIOS: dict[str, Scenario] = {
         repeat_ratio=0.0,
         faults=FaultSpec(cache_eviction_rate=0.5, cache_eviction_count=8),
         slo=SLOTarget(p95_latency_ms=3000.0, max_error_rate=0.02),
+    ),
+    "slow_consumer": Scenario(
+        name="slow_consumer",
+        description="windowed closed-loop client drains responses slowly — backpressure end to end",
+        priority_levels=(0, 1),
+        repeat_ratio=0.0,
+        client_window=3,
+        faults=FaultSpec(solver_error_rate=0.05, slow_solve_rate=0.10),
+        slo=SLOTarget(p95_latency_ms=5000.0, max_error_rate=0.02),
     ),
 }
 

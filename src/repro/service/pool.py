@@ -23,7 +23,67 @@ from typing import TYPE_CHECKING, Callable, Hashable, Iterator
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.deconvolver import Deconvolver
 
-__all__ = ["PoolEntry", "SessionPool"]
+__all__ = ["PoolEntry", "SessionFactory", "SessionPool"]
+
+
+class SessionFactory:
+    """Picklable session factory: a deconvolver config plus its kernels.
+
+    The thread runner accepts any ``factory(key) -> Deconvolver`` callable,
+    but the process runner must ship the factory to spawned workers, and a
+    closure does not pickle.  This class carries the same payload the CLI
+    and bench closures used to capture — cell-cycle parameters, basis size,
+    constraint overrides, solver backend, pre-built kernels — as plain
+    attributes, so one instance serves both runners: the parent's
+    :class:`SessionPool` calls it for the degraded/in-process path while
+    each worker process calls its own pickled copy.
+
+    Parameters
+    ----------
+    parameters:
+        Cell-cycle parameters of the deconvolver (``None`` = paper values).
+    num_basis:
+        Spline basis size.
+    constraints:
+        Constraint overrides (``None`` = the defaults).
+    solver_backend:
+        Solver backend passed through to the deconvolver.
+    kernels:
+        Pre-built kernels registered on every new session.
+    """
+
+    def __init__(
+        self,
+        *,
+        parameters=None,
+        num_basis: int | None = None,
+        constraints=None,
+        solver_backend: str = "auto",
+        kernels=(),
+    ) -> None:
+        self.parameters = parameters
+        self.num_basis = num_basis
+        self.constraints = constraints
+        self.solver_backend = solver_backend
+        self.kernels = list(kernels)
+
+    def __call__(self, _key: Hashable) -> "Deconvolver":
+        """Build a configured deconvolver with every kernel registered."""
+        from repro import config
+        from repro.core.deconvolver import Deconvolver
+
+        deconvolver = Deconvolver(
+            parameters=self.parameters,
+            num_basis=self.num_basis
+            if self.num_basis is not None
+            else config.DEFAULT_NUM_BASIS,
+            constraints=self.constraints,
+            solver_backend=self.solver_backend,
+        )
+        session = deconvolver.session()
+        for kernel in self.kernels:
+            session.register_kernel(kernel)
+        return deconvolver
 
 
 class PoolEntry:
@@ -81,6 +141,11 @@ class SessionPool:
         self.misses = 0
         self.evictions = 0
         self.build_failures = 0
+
+    @property
+    def factory(self) -> Callable[[Hashable], "Deconvolver"]:
+        """The session factory (the process runner ships it to workers)."""
+        return self._factory
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,222 @@
+"""Single-producer shared-memory ring buffers for worker handoff.
+
+The process execution engine (:mod:`repro.service.workers`) moves the bulky
+payloads of a solve — the stacked measurement matrix on the way in, the
+stacked coefficient/fitted/sigma block on the way out — through
+``multiprocessing.shared_memory`` segments instead of pickling them through
+the control queues.  Each direction of each worker gets one
+:class:`ShmRing`: the producer copies the array bytes straight into the
+mapped segment (the only copy on the producing side) and ships a tiny
+``(offset, shape)`` handle in the pickled control message; the consumer maps
+a zero-copy :func:`numpy.ndarray` view onto the same physical pages.
+
+Layout
+------
+``[0:8)``  write cursor — absolute bytes ever claimed (``uint64``).
+``[8:16)`` read cursor — absolute bytes ever released (``uint64``).
+``[16:16+capacity)`` data area.
+
+Cursors are *monotonic absolute offsets* (they never wrap; a block's
+physical position is ``offset % capacity``), which makes the free-space
+check a single subtraction and keeps stale handles detectable.  Blocks
+never straddle the wrap point: a write that would cross the end of the data
+area first claims the tail padding and starts at the next boundary, so every
+handle maps to one contiguous memoryview.
+
+Concurrency contract: exactly one producer and one consumer per ring (the
+pool holds a submit lock per worker; the worker itself is single-threaded),
+with release strictly in claim order.  Cursor loads/stores are single
+8-byte aligned accesses.  When a ring is full (slow consumer) or a block
+exceeds the capacity outright, the caller falls back to pickling the
+payload inline — the ring is a fast path, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmRing"]
+
+#: Bytes reserved for the two cursors at the head of the segment.
+_HEADER_BYTES = 16
+
+#: Alignment of every data block (keeps float64 views aligned).
+_ALIGN = 8
+
+
+class ShmRing:
+    """One single-producer/single-consumer ring over a shared segment.
+
+    Parameters
+    ----------
+    segment:
+        The mapped :class:`~multiprocessing.shared_memory.SharedMemory`.
+    capacity:
+        Data-area size in bytes (segment size minus the cursor header).
+    owner:
+        Whether this side created the segment (and must unlink it).
+    """
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, capacity: int, *, owner: bool
+    ) -> None:
+        self._segment = segment
+        self.capacity = int(capacity)
+        self._owner = owner
+        self._closed = False
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        """Create a new ring with ``capacity`` data bytes (producer side)."""
+        capacity = max(_ALIGN, int(capacity))
+        capacity += (-capacity) % _ALIGN
+        segment = shared_memory.SharedMemory(create=True, size=_HEADER_BYTES + capacity)
+        segment.buf[:_HEADER_BYTES] = b"\x00" * _HEADER_BYTES
+        return cls(segment, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShmRing":
+        """Attach to an existing ring by segment ``name`` (worker side).
+
+        Spawned workers share the parent's resource tracker (the fd rides
+        the spawn preparation data), so attaching registers the segment at
+        most once tree-wide and only the creator's :meth:`close` unlinks it
+        — no per-process unregister dance is needed.
+        """
+        segment = shared_memory.SharedMemory(name=name)
+        return cls(segment, int(capacity), owner=False)
+
+    @property
+    def name(self) -> str:
+        """OS-level name of the backing segment (ships in init payloads)."""
+        return self._segment.name
+
+    # -- cursors -------------------------------------------------------
+
+    def _load(self, offset: int) -> int:
+        return struct.unpack_from("<Q", self._segment.buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        struct.pack_into("<Q", self._segment.buf, offset, value)
+
+    @property
+    def write_cursor(self) -> int:
+        """Absolute bytes ever claimed by the producer."""
+        return self._load(0)
+
+    @property
+    def read_cursor(self) -> int:
+        """Absolute bytes ever released by the consumer."""
+        return self._load(8)
+
+    def used(self) -> int:
+        """Bytes currently claimed and not yet released."""
+        return self.write_cursor - self.read_cursor
+
+    # -- producer side -------------------------------------------------
+
+    def try_claim(self, nbytes: int) -> int | None:
+        """Claim ``nbytes`` contiguous bytes; absolute offset or ``None``.
+
+        ``None`` means the ring currently lacks contiguous space (or the
+        block can never fit) — the caller should fall back to an inline
+        payload or wait for the consumer.
+        """
+        nbytes = int(nbytes)
+        padded = nbytes + ((-nbytes) % _ALIGN)
+        if padded > self.capacity:
+            return None
+        write = self.write_cursor
+        position = write % self.capacity
+        skip = 0
+        if position + padded > self.capacity:
+            skip = self.capacity - position  # tail padding: never wrap a block
+        if (write + skip + padded) - self.read_cursor > self.capacity:
+            return None
+        start = write + skip
+        self._store(0, start + padded)
+        return start
+
+    def write(
+        self, payload: np.ndarray | bytes, timeout: float = 0.0
+    ) -> int | None:
+        """Copy ``payload`` into the ring; its absolute offset, or ``None``.
+
+        Spins (1 ms naps) for up to ``timeout`` seconds waiting for the
+        consumer to release space.  ``None`` on timeout or oversize.
+        """
+        if isinstance(payload, np.ndarray):
+            data = np.ascontiguousarray(payload).view(np.uint8).reshape(-1).data
+        else:
+            data = memoryview(payload)
+        nbytes = len(data)
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            offset = self.try_claim(nbytes)
+            if offset is not None:
+                break
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.001)
+        position = offset % self.capacity
+        self._segment.buf[
+            _HEADER_BYTES + position : _HEADER_BYTES + position + nbytes
+        ] = data
+        return offset
+
+    # -- consumer side -------------------------------------------------
+
+    def view(self, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy view of the block claimed at absolute ``offset``."""
+        position = int(offset) % self.capacity
+        return self._segment.buf[
+            _HEADER_BYTES + position : _HEADER_BYTES + position + int(nbytes)
+        ]
+
+    def array(self, offset: int, shape: tuple[int, ...]) -> np.ndarray:
+        """Zero-copy float64 array view of the block at ``offset``."""
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        flat = np.frombuffer(self.view(offset, count * 8), dtype=np.float64)
+        return flat.reshape(shape)
+
+    def release(self, offset: int, nbytes: int) -> None:
+        """Release the block at ``offset`` (must be the oldest live block).
+
+        Tail padding skipped *before* a block is accounted to that block's
+        offset, so releasing blocks in claim order keeps the cursors
+        consistent without any extra bookkeeping.  Blocks no larger than
+        half the capacity can always be claimed once the ring drains, so a
+        full ring is always a transient condition.
+        """
+        nbytes = int(nbytes)
+        padded = nbytes + ((-nbytes) % _ALIGN)
+        self._store(8, max(int(offset) + padded, self.read_cursor))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment (and unlink it when this side created it)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+        except (OSError, BufferError):  # pragma: no cover - platform noise
+            pass
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,645 @@
+"""Pinned worker processes for true multi-core shard execution.
+
+The scheduler's thread runner keeps every solve under the GIL, so one hot
+shard tops out at roughly one core no matter how many runner threads exist.
+:class:`ShardWorkerPool` is the process runner behind
+``MicroBatchScheduler(runner="process")``: a fixed set of spawn-safe worker
+processes, each owning its *own* deconvolver sessions rebuilt from the
+configuration key through the same (picklable) factory the parent's
+:class:`~repro.service.pool.SessionPool` uses.  Shards have an affinity
+worker (stable hash), but a hot shard's batches overflow to idle workers —
+each worker's session is an independent warm replica, so concurrent batches
+of one shard no longer serialize.
+
+Data plane
+----------
+Control messages (op, ticket, header) travel over per-worker
+``multiprocessing`` queues and stay tiny; the bulky payloads ride
+per-worker :class:`~repro.service.shm.ShmRing` shared-memory rings — the
+stacked measurement matrix on the way in, the stacked
+coefficients/fitted/sigma block on the way out — so handoff never pickles
+a measurement vector.  A full or undersized ring degrades to an inline
+(pickled) payload; the rings are a fast path, not a correctness dependency.
+
+Failure contract
+----------------
+Backend selection is propagated explicitly (``REPRO_BACKEND`` is read once
+at import, so a parent's ``set_active_backend`` would otherwise silently
+revert to numpy in workers), and :meth:`ShardWorkerPool.health` reports
+each worker's pid, backend and batch counters for supervision.  A worker
+that dies or stops answering fails its in-flight batches with
+:class:`~repro.service.errors.WorkerCrashed` (``transient = True``): the
+scheduler's retry policy resubmits — the pool respawns the slot on the next
+dispatch — and repeated failures trip the shard's circuit breaker over to
+the parent's bit-exact in-process degraded path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import queue as queue_module
+import threading
+import time
+import zlib
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro import config
+from repro.service.errors import WorkerCrashed
+from repro.service.shm import ShmRing
+
+__all__ = ["ShardWorkerPool", "ensure_picklable"]
+
+#: Default per-direction ring capacity per worker.
+DEFAULT_RING_BYTES = 1 << 20
+
+#: Seconds a producer waits for ring space before falling back to inline.
+_RING_WAIT_S = 0.05
+
+#: Poll interval while waiting on a response (liveness is checked per poll).
+_POLL_S = 0.05
+
+
+def ensure_picklable(factory) -> None:
+    """Raise ``ValueError`` when ``factory`` cannot ship to a spawned worker.
+
+    The process runner pickles the session factory into every worker's init
+    payload; closures (the historical CLI style) do not pickle.  Use a
+    module-level callable such as
+    :class:`~repro.service.pool.SessionFactory` instead.
+    """
+    try:
+        pickle.dumps(factory)
+    except Exception as exc:
+        raise ValueError(
+            "the process runner requires a picklable session factory "
+            "(e.g. repro.service.SessionFactory); a closure cannot be "
+            f"shipped to spawned workers: {exc}"
+        ) from exc
+
+
+def _safe_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it pickles, else a ``RuntimeError`` describing it."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+
+def _worker_solve(header: dict, matrix: np.ndarray, deconvolver, res_ring: ShmRing):
+    """Run one batched solve and package the response (worker side)."""
+    results = deconvolver.fit_many(
+        header["times"],
+        matrix,
+        sigma=header["sigma"],
+        lam=header["lams"],
+        lambda_method=header["lambda_method"],
+        lambda_grid=header["lambda_grid"],
+        rng=header["rng"],
+        engine="batch",
+    )
+    coefficients = np.stack([result.coefficients for result in results])
+    fitted = np.stack([np.asarray(result.fitted, dtype=float) for result in results])
+    sigma = np.stack([np.asarray(result.sigma, dtype=float) for result in results])
+    block = np.concatenate([coefficients.ravel(), fitted.ravel(), sigma.ravel()])
+    meta = {
+        "basis": results[0].basis,
+        "coefficients_shape": coefficients.shape,
+        "fitted_shape": fitted.shape,
+        "sigma_shape": sigma.shape,
+        "rows": [
+            {
+                "lam": result.lam,
+                "data_misfit": result.data_misfit,
+                "roughness": result.roughness,
+                "solver_converged": result.solver_converged,
+                "solver_iterations": result.solver_iterations,
+                "lambda_path": result.lambda_path,
+                "mean_cycle_time": result.mean_cycle_time,
+                "constraint_violations": result.constraint_violations,
+                "solver_active_set": list(result.solver_active_set),
+            }
+            for result in results
+        ],
+    }
+    offset = res_ring.write(block, timeout=_RING_WAIT_S)
+    if offset is None:  # slow consumer / oversize: inline fallback
+        return meta, ("inline", block)
+    return meta, ("shm", offset, block.size)
+
+
+def _worker_main(
+    worker_index: int,
+    factory,
+    backend_name: Optional[str],
+    request_queue,
+    response_queue,
+    request_ring_name: str,
+    response_ring_name: str,
+    ring_bytes: int,
+) -> None:
+    """Entry point of one spawned worker process.
+
+    Serves ``("solve", ticket, header)`` and ``("ping", ticket, None)``
+    messages until a ``None`` sentinel arrives.  Module-level by design:
+    the ``spawn`` start method imports this module fresh and pickles only
+    the arguments.
+    """
+    from repro import backends
+
+    if backend_name is not None:
+        # Explicit propagation: REPRO_BACKEND was read once at the parent's
+        # import, so the parent's selection must be replayed here.
+        backends.set_active_backend(backend_name)
+    request_ring = ShmRing.attach(request_ring_name, ring_bytes)
+    response_ring = ShmRing.attach(response_ring_name, ring_bytes)
+    deconvolvers: dict = {}
+    batches = 0
+    requests_served = 0
+    started = time.monotonic()
+    while True:
+        message = request_queue.get()
+        if message is None:
+            break
+        op, ticket, header = message
+        try:
+            if op == "ping":
+                health = {
+                    "worker": worker_index,
+                    "pid": os.getpid(),
+                    "requested_backend": backend_name,
+                    "active_backend": backends.active_backend().name,
+                    "batches": batches,
+                    "requests": requests_served,
+                    "uptime_seconds": time.monotonic() - started,
+                }
+                response_queue.put(("ok", ticket, health, None))
+                continue
+            matrix_ref = header["matrix"]
+            if matrix_ref[0] == "shm":
+                _, offset, shape = matrix_ref
+                # Copy out of the ring immediately so the slot can be
+                # released (and reused by the parent) during the solve.
+                matrix = np.array(request_ring.array(offset, shape))
+                request_ring.release(offset, matrix.nbytes)
+            else:
+                matrix = matrix_ref[1]
+            deconvolver = deconvolvers.get(header["config"])
+            if deconvolver is None:
+                deconvolver = deconvolvers[header["config"]] = factory(header["config"])
+            meta, block_ref = _worker_solve(header, matrix, deconvolver, response_ring)
+            batches += 1
+            requests_served += matrix.shape[1]
+            response_queue.put(("ok", ticket, meta, block_ref))
+        except BaseException as exc:  # noqa: BLE001 - must answer, not die
+            response_queue.put(("error", ticket, _safe_exception(exc), None))
+    request_ring.close()
+    response_ring.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _Ticket:
+    """Parent-side slot a submitting thread parks on until its answer lands."""
+
+    __slots__ = ("event", "kind", "meta", "payload")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.kind: Optional[str] = None
+        self.meta = None
+        self.payload: Optional[np.ndarray] = None
+
+
+class _Worker:
+    """One spawned worker process plus its parent-side plumbing."""
+
+    def __init__(self, index: int, pool: "ShardWorkerPool") -> None:
+        import multiprocessing
+
+        self.index = index
+        context = multiprocessing.get_context("spawn")
+        self.request_queue = context.Queue()
+        self.response_queue = context.Queue()
+        self.request_ring = ShmRing.create(pool.ring_bytes)
+        self.response_ring = ShmRing.create(pool.ring_bytes)
+        self.submit_lock = threading.Lock()
+        self.pending: dict[int, _Ticket] = {}
+        self.pending_lock = threading.Lock()
+        self.in_flight = 0
+        self.batches = 0
+        self.started_at = time.monotonic()
+        self.last_response_at: Optional[float] = None
+        self._stop = threading.Event()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(
+                index,
+                pool.factory,
+                pool.backend,
+                self.request_queue,
+                self.response_queue,
+                self.request_ring.name,
+                self.response_ring.name,
+                pool.ring_bytes,
+            ),
+            daemon=True,
+            name=f"repro-shard-worker-{index}",
+        )
+        self.process.start()
+        self.reader = threading.Thread(
+            target=self._read_loop, daemon=True, name=f"repro-worker-reader-{index}"
+        )
+        self.reader.start()
+
+    def alive(self) -> bool:
+        return self.process.is_alive() and not self._stop.is_set()
+
+    def _read_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                message = self.response_queue.get(timeout=0.2)
+            except (queue_module.Empty, OSError, EOFError, ValueError):
+                if self._stop.is_set():
+                    return
+                continue
+            kind, ticket_id, meta, block_ref = message
+            payload = None
+            if block_ref is not None:
+                if block_ref[0] == "shm":
+                    _, offset, count = block_ref
+                    payload = np.array(self.response_ring.array(offset, (count,)))
+                    self.response_ring.release(offset, count * 8)
+                else:
+                    payload = block_ref[1]
+            with self.pending_lock:
+                ticket = self.pending.pop(ticket_id, None)
+            self.last_response_at = time.monotonic()
+            if ticket is not None:
+                ticket.kind = kind
+                ticket.meta = meta
+                ticket.payload = payload
+                ticket.event.set()
+
+    def fail_pending(self, exc: BaseException) -> None:
+        """Resolve every in-flight ticket with ``exc`` (worker died)."""
+        with self.pending_lock:
+            tickets = list(self.pending.values())
+            self.pending.clear()
+        for ticket in tickets:
+            ticket.kind = "error"
+            ticket.meta = exc
+            ticket.event.set()
+
+    def shutdown(self, timeout: float) -> None:
+        """Stop the process (sentinel, then join, then terminate/kill)."""
+        self._stop.set()
+        try:
+            self.request_queue.put_nowait(None)
+        except (queue_module.Full, OSError, ValueError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.fail_pending(WorkerCrashed(self.index, "shut down"))
+        for mp_queue in (self.request_queue, self.response_queue):
+            try:
+                mp_queue.close()
+                mp_queue.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+        self.request_ring.close()
+        self.response_ring.close()
+
+
+class ShardWorkerPool:
+    """Fixed-size pool of pinned solver processes with shared-memory handoff.
+
+    Parameters
+    ----------
+    factory:
+        Picklable ``factory(key) -> Deconvolver`` (see
+        :class:`~repro.service.pool.SessionFactory`); each worker builds its
+        own sessions from it, keyed by the request's configuration.
+    workers:
+        Number of worker slots (default
+        :func:`repro.config.default_pool_size` for ``kind="process"``).
+        Slots spawn lazily: cold traffic on one shard uses one process,
+        a hot shard fans out to more.
+    backend:
+        Kernel-backend name replayed inside every worker (default: the
+        parent's active backend) — see the module docstring.
+    ring_bytes:
+        Per-direction shared-memory ring capacity per worker.
+    solve_timeout_s:
+        Seconds a dispatched batch may run before the worker is declared
+        dead (generous: covers cold session builds on loaded machines).
+    telemetry:
+        Optional :class:`~repro.service.telemetry.Telemetry` receiving
+        per-worker gauges (``worker{i}_alive`` / ``_inflight`` /
+        ``_batches`` / ``_restarts``).
+    """
+
+    def __init__(
+        self,
+        factory,
+        *,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        solve_timeout_s: float = 300.0,
+        telemetry=None,
+    ) -> None:
+        ensure_picklable(factory)
+        from repro import backends
+
+        self.factory = factory
+        self.num_workers = int(
+            workers
+            if workers is not None
+            else config.default_pool_size(None, kind="process")
+        )
+        if self.num_workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.backend = backend if backend is not None else backends.active_backend().name
+        self.ring_bytes = int(ring_bytes)
+        self.solve_timeout_s = float(solve_timeout_s)
+        self.telemetry = telemetry
+        self._slots: dict[int, _Worker] = {}
+        self._restarts = [0] * self.num_workers
+        self._lock = threading.Lock()
+        self._tickets = itertools.count()
+        self._closed = False
+
+    # -- worker selection ----------------------------------------------
+
+    def _ensure(self, index: int) -> _Worker:
+        # Caller holds self._lock.
+        worker = self._slots.get(index)
+        if worker is not None and worker.alive():
+            return worker
+        if worker is not None:
+            self._restarts[index] += 1
+            worker.fail_pending(WorkerCrashed(index, "exited"))
+        worker = _Worker(index, self)
+        self._slots[index] = worker
+        self._gauge(index, alive=1.0)
+        return worker
+
+    def _worker_for(self, shard: Hashable) -> _Worker:
+        """Affinity-first, least-busy worker selection.
+
+        The shard's stable-hash slot is preferred (its worker's sessions are
+        warm for this configuration); when it is busy, an idle live worker
+        takes the batch, then an unspawned slot, then the least busy — so a
+        single hot shard scales across every worker instead of serializing
+        on its affinity slot.
+        """
+        preferred = zlib.crc32(repr(shard).encode()) % self.num_workers
+        order = [(preferred + step) % self.num_workers for step in range(self.num_workers)]
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashed(preferred, "pool closed")
+            for index in order:
+                worker = self._slots.get(index)
+                if worker is not None and worker.alive() and worker.in_flight == 0:
+                    return self._ensure(index)
+            for index in order:
+                worker = self._slots.get(index)
+                if worker is None or not worker.alive():
+                    return self._ensure(index)
+            chosen = min(order, key=lambda index: self._slots[index].in_flight)
+            return self._ensure(chosen)
+
+    def _gauge(self, index: int, **values: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_worker(index, **values)
+
+    # -- request paths -------------------------------------------------
+
+    def _await(self, worker: _Worker, ticket: _Ticket, timeout: float):
+        deadline = time.monotonic() + timeout
+        while not ticket.event.wait(_POLL_S):
+            if not worker.process.is_alive():
+                worker.fail_pending(WorkerCrashed(worker.index, "exited"))
+            if ticket.event.is_set():
+                break
+            if time.monotonic() >= deadline:
+                ticket.event.set()  # stop the reader from racing us
+                raise WorkerCrashed(worker.index, f"timeout after {timeout:.1f}s")
+        if ticket.kind == "error":
+            raise ticket.meta
+        return ticket.meta, ticket.payload
+
+    def solve_batch(
+        self,
+        shard: Hashable,
+        *,
+        times: np.ndarray,
+        matrix: np.ndarray,
+        sigma,
+        lams: Optional[Sequence[float]],
+        lambda_method: str,
+        lambda_grid,
+        rng,
+        timeout: Optional[float] = None,
+    ) -> list:
+        """Dispatch one coalesced batch to a worker; list of results.
+
+        The measurement matrix rides the worker's request ring (inline
+        pickle fallback when full); the stacked result arrays come back on
+        the response ring.  Raises
+        :class:`~repro.service.errors.WorkerCrashed` when the worker dies
+        or times out — the scheduler's retry/breaker machinery owns what
+        happens next.
+        """
+        worker = self._worker_for(shard)
+        ticket_id = next(self._tickets)
+        ticket = _Ticket()
+        matrix = np.ascontiguousarray(matrix, dtype=float)
+        header = {
+            "config": shard,
+            "times": np.asarray(times, dtype=float),
+            "sigma": sigma,
+            "lams": None if lams is None else list(lams),
+            "lambda_method": lambda_method,
+            "lambda_grid": lambda_grid,
+            "rng": rng,
+        }
+        with self._lock:
+            worker.in_flight += 1
+        self._gauge(worker.index, inflight=float(worker.in_flight))
+        try:
+            with worker.submit_lock:
+                offset = worker.request_ring.write(matrix, timeout=_RING_WAIT_S)
+                if offset is None:
+                    header["matrix"] = ("inline", matrix)
+                else:
+                    header["matrix"] = ("shm", offset, matrix.shape)
+                with worker.pending_lock:
+                    worker.pending[ticket_id] = ticket
+                worker.request_queue.put(("solve", ticket_id, header))
+            meta, payload = self._await(
+                worker, ticket, timeout if timeout is not None else self.solve_timeout_s
+            )
+        finally:
+            with self._lock:
+                worker.in_flight -= 1
+            with worker.pending_lock:
+                worker.pending.pop(ticket_id, None)
+            self._gauge(worker.index, inflight=float(worker.in_flight))
+        worker.batches += 1
+        self._gauge(worker.index, batches=float(worker.batches))
+        return self._build_results(header, matrix, meta, payload)
+
+    def _build_results(
+        self, header: dict, matrix: np.ndarray, meta: dict, payload: np.ndarray
+    ) -> list:
+        """Rebuild detached results from a worker's response block."""
+        from repro.core.result import DeconvolutionResult
+
+        coeff_shape = meta["coefficients_shape"]
+        fitted_shape = meta["fitted_shape"]
+        sigma_shape = meta["sigma_shape"]
+        sizes = [int(np.prod(shape)) for shape in (coeff_shape, fitted_shape, sigma_shape)]
+        coefficients = payload[: sizes[0]].reshape(coeff_shape)
+        fitted = payload[sizes[0] : sizes[0] + sizes[1]].reshape(fitted_shape)
+        sigma = payload[sizes[0] + sizes[1] :].reshape(sigma_shape)
+        results = []
+        for row, info in enumerate(meta["rows"]):
+            results.append(
+                DeconvolutionResult(
+                    coefficients=coefficients[row].copy(),
+                    basis=meta["basis"],
+                    lam=info["lam"],
+                    times=header["times"],
+                    measurements=np.array(matrix[:, row]),
+                    fitted=fitted[row].copy(),
+                    sigma=sigma[row].copy(),
+                    data_misfit=info["data_misfit"],
+                    roughness=info["roughness"],
+                    solver_converged=info["solver_converged"],
+                    solver_iterations=info["solver_iterations"],
+                    lambda_path=info["lambda_path"],
+                    mean_cycle_time=info["mean_cycle_time"],
+                    constraint_violations=info["constraint_violations"],
+                    solver_active_set=info["solver_active_set"],
+                )
+            )
+        return results
+
+    def ping(self, index: int, timeout: float = 10.0) -> dict:
+        """Round-trip health probe of worker ``index`` (spawns it if cold)."""
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashed(index, "pool closed")
+            worker = self._ensure(index)
+        ticket_id = next(self._tickets)
+        ticket = _Ticket()
+        with worker.submit_lock:
+            with worker.pending_lock:
+                worker.pending[ticket_id] = ticket
+            worker.request_queue.put(("ping", ticket_id, None))
+        meta, _ = self._await(worker, ticket, timeout)
+        return meta
+
+    def health(self) -> list[dict]:
+        """Per-slot health report (pid, backend, counters; no cold spawns).
+
+        Only live slots are pinged; unspawned or dead slots report
+        ``alive: False`` without side effects, so the scheduler's heartbeat
+        path never pays a worker spawn.
+        """
+        report = []
+        for index in range(self.num_workers):
+            with self._lock:
+                worker = self._slots.get(index)
+            if worker is None or not worker.alive():
+                report.append(
+                    {
+                        "worker": index,
+                        "alive": False,
+                        "restarts": self._restarts[index],
+                    }
+                )
+                self._gauge(index, alive=0.0)
+                continue
+            try:
+                health = dict(self.ping(index, timeout=10.0))
+                health["alive"] = True
+            except WorkerCrashed:
+                health = {"worker": index, "alive": False}
+            health["restarts"] = self._restarts[index]
+            health["in_flight"] = worker.in_flight
+            report.append(health)
+            self._gauge(index, alive=float(health["alive"]))
+        return report
+
+    def stats(self) -> dict:
+        """Cheap parent-side snapshot (no worker round-trips)."""
+        with self._lock:
+            per_worker = [
+                {
+                    "worker": index,
+                    "spawned": index in self._slots,
+                    "alive": bool(
+                        self._slots[index].alive() if index in self._slots else False
+                    ),
+                    "in_flight": self._slots[index].in_flight
+                    if index in self._slots
+                    else 0,
+                    "batches": self._slots[index].batches if index in self._slots else 0,
+                    "restarts": self._restarts[index],
+                }
+                for index in range(self.num_workers)
+            ]
+        return {
+            "workers": self.num_workers,
+            "backend": self.backend,
+            "ring_bytes": self.ring_bytes,
+            "per_worker": per_worker,
+        }
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop every worker (sentinel → join → terminate); idempotent.
+
+        After ``close`` returns no child process of the pool is running —
+        the no-orphans guarantee ``shutdown(drain=True)`` tests assert on.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._slots.values())
+            self._slots.clear()
+        for worker in workers:
+            worker.shutdown(timeout)
+            self._gauge(worker.index, alive=0.0, inflight=0.0)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close(timeout=1.0)
+        except Exception:
+            pass

@@ -418,3 +418,87 @@ class TestBatchedGCVSelection:
             generalized_cross_validation_batch(
                 seeded_problem, seeded_problem.measurements, default_lambda_grid(5)
             )
+
+
+class TestSolveMixed:
+    """The stacked mixed-lambda pass must return verified per-group optima."""
+
+    LAMS = [1e-3, 1e-2, 1e-3, 3e-2, 1e-2]
+
+    def test_matches_per_column_solves(self, seeded_problem, species_matrix):
+        mixed = seeded_problem.solve_mixed(self.LAMS, species_matrix)
+        assert mixed.num_problems == species_matrix.shape[1]
+        for column, lam in enumerate(self.LAMS):
+            sibling = seeded_problem.with_measurements(species_matrix[:, column])
+            reference = sibling.solve(lam)
+            assert np.max(np.abs(mixed.x[column] - reference.x)) <= 1e-10
+            assert mixed.objectives[column] == pytest.approx(
+                reference.objective, rel=1e-9, abs=1e-12
+            )
+            assert mixed.converged[column]
+
+    def test_stacked_rows_exist_and_plan_is_cached(self, seeded_problem, species_matrix):
+        """The eig plan solves at least part of the batch and is reused."""
+        first = seeded_problem.solve_mixed(self.LAMS, species_matrix)
+        assert first.num_fallback < first.num_problems
+        second = seeded_problem.solve_mixed(self.LAMS, species_matrix)
+        # Remembered working sets can only grow coverage, never shrink it.
+        assert second.num_fallback <= first.num_fallback
+        assert np.max(np.abs(second.x - first.x)) <= 1e-12
+
+    def test_single_distinct_lambda_delegates_to_solve_batch(
+        self, seeded_problem, species_matrix
+    ):
+        lam = 1e-2
+        mixed = seeded_problem.solve_mixed([lam] * 5, species_matrix)
+        batch = seeded_problem.solve_batch(lam, species_matrix)
+        assert np.max(np.abs(mixed.x - batch.x)) == 0.0
+        assert list(mixed.fallback) == list(batch.fallback)
+
+    def test_scipy_backend_disables_stacked_pass(self, seeded_problem, species_matrix):
+        mixed = seeded_problem.solve_mixed(self.LAMS, species_matrix, backend="scipy")
+        assert all(mixed.fallback)
+        for column, lam in enumerate(self.LAMS):
+            sibling = seeded_problem.with_measurements(species_matrix[:, column])
+            reference = sibling.solve(lam)
+            # scipy's iterative backend only promises ~1e-6 agreement with
+            # the exact active-set optimum; this test checks routing.
+            assert np.max(np.abs(mixed.x[column] - reference.x)) <= 1e-6
+
+    def test_shape_validation(self, seeded_problem, species_matrix):
+        with pytest.raises(ValueError):
+            seeded_problem.solve_mixed([1e-3, 1e-2], species_matrix)
+        with pytest.raises(ValueError):
+            seeded_problem.solve_mixed(self.LAMS, species_matrix[:, 0])
+
+
+class TestCrossLambdaFitMany:
+    """fit_many's mixed-lambda batches route through one stacked eig pass."""
+
+    LAMS = [1e-3, 1e-2, 1e-3, 3e-2, 1e-2]
+
+    def test_stacked_pass_matches_per_group_sweep(
+        self, small_kernel, paper_parameters, species_matrix
+    ):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        stacked = deconvolver.fit_many(
+            small_kernel.times, species_matrix, lam=self.LAMS
+        )
+        grouped = deconvolver.fit_many(
+            small_kernel.times, species_matrix, lam=self.LAMS, cross_lambda=False
+        )
+        for a, b in zip(stacked, grouped):
+            assert a.lam == b.lam
+            assert np.max(np.abs(a.coefficients - b.coefficients)) <= 1e-10
+
+    def test_stacked_pass_matches_individual_fits(
+        self, small_kernel, paper_parameters, species_matrix
+    ):
+        deconvolver = Deconvolver(small_kernel, parameters=paper_parameters, num_basis=12)
+        batch = deconvolver.fit_many(small_kernel.times, species_matrix, lam=self.LAMS)
+        for column, (lam, result) in enumerate(zip(self.LAMS, batch)):
+            reference = deconvolver.fit(
+                small_kernel.times, species_matrix[:, column], lam=lam
+            )
+            assert result.lam == lam
+            assert np.max(np.abs(result.coefficients - reference.coefficients)) <= 1e-10

@@ -1,0 +1,415 @@
+"""Tests for the process execution engine: shm rings, worker pool, runner.
+
+The process runner must be a drop-in for the thread runner: bit-exact
+results (≤ 1e-10 against a direct serial ``fit``), the same lambda
+selections, and the same failure contract — a dead worker surfaces as
+``WorkerCrashed`` (transient), the pool respawns the slot, and repeated
+failures trip the shard's breaker over to the parent's in-process degraded
+path.  Worker processes are real (spawned) in the pool/scheduler classes,
+so assertions stay core-count-agnostic: correctness and lifecycle, never
+wall-clock scaling.
+"""
+
+import os
+import pickle
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.core.deconvolver import Deconvolver
+from repro.service import (
+    MicroBatchScheduler,
+    SessionFactory,
+    SessionPool,
+    ShardWorkerPool,
+    ShmRing,
+    WorkerCrashed,
+    WorkloadSpec,
+    build_workload,
+    ensure_picklable,
+    max_coefficient_gap,
+    serial_reference,
+)
+from repro.service.robustness import RetryPolicy
+
+
+@pytest.fixture(scope="module")
+def kernels(paper_parameters, small_kernel):
+    from repro.cellcycle.kernel import KernelBuilder
+
+    builder = KernelBuilder(paper_parameters, num_cells=1200, phase_bins=30)
+    second = builder.build(np.linspace(0.0, 120.0, 9), rng=5)
+    return [small_kernel, second]
+
+
+@pytest.fixture(scope="module")
+def factory(paper_parameters, kernels):
+    return SessionFactory(parameters=paper_parameters, num_basis=8, kernels=kernels)
+
+
+@pytest.fixture(scope="module")
+def workload(kernels):
+    return build_workload(
+        kernels,
+        WorkloadSpec(num_requests=16, repeat_ratio=0.0, selection_fraction=0.2, seed=11),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ShmRing
+# ---------------------------------------------------------------------------
+
+
+class TestShmRing:
+    def test_array_roundtrip_and_release(self):
+        ring = ShmRing.create(1024)
+        try:
+            payload = np.arange(24.0).reshape(4, 6)
+            offset = ring.write(payload)
+            assert offset == 0
+            assert ring.used() == payload.nbytes
+            # Copy out of the zero-copy view before closing: a live view
+            # keeps the segment's pages pinned.
+            assert np.array_equal(np.array(ring.array(offset, payload.shape)), payload)
+            ring.release(offset, payload.nbytes)
+            assert ring.used() == 0
+        finally:
+            ring.close()
+
+    def test_bytes_roundtrip(self):
+        ring = ShmRing.create(64)
+        try:
+            offset = ring.write(b"hello")
+            assert bytes(ring.view(offset, 5)) == b"hello"
+        finally:
+            ring.close()
+
+    def test_blocks_are_eight_byte_aligned(self):
+        ring = ShmRing.create(64)
+        try:
+            first = ring.write(b"abc")  # 3 bytes, padded to 8
+            second = ring.write(b"defgh")
+            assert first == 0
+            assert second == 8
+            assert ring.used() == 16
+        finally:
+            ring.close()
+
+    def test_blocks_never_wrap_and_survive_tail_skip(self):
+        ring = ShmRing.create(64)
+        try:
+            a = np.arange(3.0)  # 24 bytes each
+            b = np.arange(3.0, 6.0)
+            c = np.arange(6.0, 9.0)
+            off_a = ring.write(a)
+            off_b = ring.write(b)
+            # 48 of 64 bytes used: a third block would cross the end, and
+            # the tail padding cannot be claimed until `a` is released.
+            assert ring.try_claim(24) is None
+            ring.release(off_a, a.nbytes)
+            off_c = ring.write(c)
+            # The block starts at the wrap boundary (absolute 64 → physical
+            # 0), never straddling it, and `b` is untouched.
+            assert off_c == 64
+            assert off_c % ring.capacity == 0
+            assert np.array_equal(ring.array(off_c, (3,)), c)
+            assert np.array_equal(ring.array(off_b, (3,)), b)
+        finally:
+            ring.close()
+
+    def test_full_ring_times_out_to_none(self):
+        ring = ShmRing.create(64)
+        try:
+            first = ring.write(np.zeros(4))  # 32 bytes
+            ring.write(np.zeros(4))
+            assert ring.write(np.zeros(4), timeout=0.0) is None
+            ring.release(first, 32)
+            assert ring.write(np.zeros(4), timeout=0.0) is not None
+        finally:
+            ring.close()
+
+    def test_oversize_payload_returns_none(self):
+        ring = ShmRing.create(64)
+        try:
+            assert ring.write(np.zeros(16), timeout=0.0) is None  # 128 bytes
+            assert ring.try_claim(65) is None
+        finally:
+            ring.close()
+
+    def test_attach_sees_producer_writes(self):
+        ring = ShmRing.create(256)
+        try:
+            payload = np.linspace(0.0, 1.0, 8)
+            offset = ring.write(payload)
+            attached = ShmRing.attach(ring.name, ring.capacity)
+            try:
+                assert np.array_equal(attached.array(offset, (8,)), payload)
+                attached.release(offset, payload.nbytes)
+                # Cursor updates are visible back on the producer side.
+                assert ring.used() == 0
+            finally:
+                attached.close()
+        finally:
+            ring.close()
+
+
+# ---------------------------------------------------------------------------
+# Factory portability
+# ---------------------------------------------------------------------------
+
+
+class TestFactoryPortability:
+    def test_session_factory_pickles_and_rebuilds(self, factory, kernels):
+        clone = pickle.loads(pickle.dumps(factory))
+        deconvolver = clone("any-key")
+        assert isinstance(deconvolver, Deconvolver)
+        values = kernels[0].apply_function(lambda v: np.full_like(v, 1.0))
+        direct = factory("any-key").fit(kernels[0].times, values, lam=1e-3)
+        rebuilt = deconvolver.fit(kernels[0].times, values, lam=1e-3)
+        assert np.max(np.abs(direct.coefficients - rebuilt.coefficients)) <= 1e-12
+
+    def test_ensure_picklable_rejects_closures(self, factory):
+        ensure_picklable(factory)  # no raise
+        with pytest.raises(ValueError, match="picklable session factory"):
+            ensure_picklable(lambda key: factory(key))
+
+
+# ---------------------------------------------------------------------------
+# ShardWorkerPool
+# ---------------------------------------------------------------------------
+
+
+def _first_bucket(workload):
+    """Largest single-(grid, sigma) bucket of the workload, fixed lambdas."""
+    groups = {}
+    for request in workload:
+        if request.lam is None:
+            continue
+        groups.setdefault(request.times.shape, []).append(request)
+    return max(groups.values(), key=len)
+
+
+class TestShardWorkerPool:
+    def test_solve_batch_matches_in_process_and_reports_backend(
+        self, factory, workload
+    ):
+        bucket = _first_bucket(workload)
+        matrix = np.column_stack([request.measurements for request in bucket])
+        lams = [request.lam for request in bucket]
+        first = bucket[0]
+        with ShardWorkerPool(factory, workers=1) as pool:
+            results = pool.solve_batch(
+                "shard-a",
+                times=first.times,
+                matrix=matrix,
+                sigma=first.sigma,
+                lams=lams,
+                lambda_method=first.lambda_method,
+                lambda_grid=first.lambda_grid,
+                rng=first.rng,
+            )
+            # Satellite: backend selection must survive the spawn — the
+            # worker replays the parent's active backend explicitly instead
+            # of re-reading REPRO_BACKEND at import.
+            health = pool.ping(0)
+            assert health["requested_backend"] == backends.active_backend().name
+            assert health["active_backend"] == backends.active_backend().name
+            assert health["pid"] != os.getpid()
+            assert health["batches"] == 1
+            assert health["requests"] == len(bucket)
+            stats = pool.stats()
+        reference = factory("shard-a").fit_many(
+            first.times, matrix, sigma=first.sigma, lam=lams, engine="batch"
+        )
+        assert max_coefficient_gap(results, reference) <= 1e-10
+        assert [r.lam for r in results] == [r.lam for r in reference]
+        assert stats["per_worker"][0]["batches"] == 1
+        assert stats["per_worker"][0]["restarts"] == 0
+
+    def test_inline_fallback_when_ring_is_too_small(self, factory, workload):
+        bucket = _first_bucket(workload)[:3]
+        matrix = np.column_stack([request.measurements for request in bucket])
+        first = bucket[0]
+        # 64-byte rings cannot carry the matrix or the result block, so both
+        # directions degrade to inline pickles — same numbers, slower path.
+        with ShardWorkerPool(factory, workers=1, ring_bytes=64) as pool:
+            results = pool.solve_batch(
+                "shard-a",
+                times=first.times,
+                matrix=matrix,
+                sigma=first.sigma,
+                lams=[request.lam for request in bucket],
+                lambda_method=first.lambda_method,
+                lambda_grid=first.lambda_grid,
+                rng=first.rng,
+            )
+        reference = factory("shard-a").fit_many(
+            first.times,
+            matrix,
+            sigma=first.sigma,
+            lam=[request.lam for request in bucket],
+            engine="batch",
+        )
+        assert max_coefficient_gap(results, reference) <= 1e-10
+
+    def test_unresponsive_worker_times_out_then_respawns(self, factory, workload):
+        bucket = _first_bucket(workload)[:2]
+        matrix = np.column_stack([request.measurements for request in bucket])
+        first = bucket[0]
+        kwargs = dict(
+            times=first.times,
+            matrix=matrix,
+            sigma=first.sigma,
+            lams=[request.lam for request in bucket],
+            lambda_method=first.lambda_method,
+            lambda_grid=first.lambda_grid,
+            rng=first.rng,
+        )
+        with ShardWorkerPool(factory, workers=1) as pool:
+            warm = pool.solve_batch("shard-a", **kwargs)
+            worker = pool._slots[0]
+            pid = worker.process.pid
+            # Freeze the worker: it stays alive but stops answering, which
+            # is the deterministic stand-in for a wedged solve.
+            os.kill(pid, signal.SIGSTOP)
+            try:
+                with pytest.raises(WorkerCrashed) as excinfo:
+                    pool.solve_batch("shard-a", timeout=0.5, **kwargs)
+                assert excinfo.value.transient is True
+            finally:
+                os.kill(pid, signal.SIGKILL)
+            worker.process.join(timeout=5.0)
+            # The next dispatch notices the dead slot, respawns it, and
+            # serves the batch on the fresh replica.
+            again = pool.solve_batch("shard-a", **kwargs)
+            assert pool.stats()["per_worker"][0]["restarts"] == 1
+            assert pool._slots[0].process.pid != pid
+        assert max_coefficient_gap(again, warm) <= 1e-12
+
+    def test_close_leaves_no_orphans_and_is_idempotent(self, factory):
+        pool = ShardWorkerPool(factory, workers=2)
+        pids = [pool.ping(index)["pid"] for index in range(2)]
+        processes = [pool._slots[index].process for index in range(2)]
+        pool.close()
+        for process in processes:
+            assert not process.is_alive()
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        pool.close()  # idempotent
+        with pytest.raises(WorkerCrashed):
+            pool.ping(0)
+
+
+# ---------------------------------------------------------------------------
+# MicroBatchScheduler with runner="process"
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerProcessRunner:
+    def test_process_runner_matches_serial_reference(self, factory, workload):
+        pool = SessionPool(factory)
+        with MicroBatchScheduler(
+            pool, max_batch=8, max_wait_ms=1.0, runner="process", workers=2
+        ) as scheduler:
+            assert scheduler.runner == "process"
+            results = scheduler.map(workload)
+            stats = scheduler.stats()
+        references = serial_reference(factory("reference"), workload)
+        assert max_coefficient_gap(results, references) <= 1e-10
+        assert [r.lam for r in results] == [r.lam for r in references]
+        assert stats["runner"] == "process"
+        assert stats["worker_pool"]["workers"] == 2
+        assert sum(w["batches"] for w in stats["worker_pool"]["per_worker"]) >= 1
+
+    def test_env_default_fallback_and_explicit_validation(
+        self, factory, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RUNNER", "process")
+        with MicroBatchScheduler(SessionPool(factory)) as scheduler:
+            assert scheduler.runner == "process"
+        # An env-selected process runner with an unpicklable factory falls
+        # back to threads (counted), but asking for it explicitly is an
+        # error — silent degradation is only acceptable for defaults.
+        closure_pool = SessionPool(lambda key: factory(key))
+        with MicroBatchScheduler(closure_pool) as scheduler:
+            assert scheduler.runner == "thread"
+            assert scheduler.telemetry.counter("runner_fallbacks") == 1
+        with pytest.raises(ValueError, match="picklable session factory"):
+            MicroBatchScheduler(closure_pool, runner="process")
+        monkeypatch.setenv("REPRO_RUNNER", "carrier-pigeon")
+        with pytest.raises(ValueError, match="runner must be"):
+            MicroBatchScheduler(SessionPool(factory))
+
+    def test_worker_failure_fails_over_to_degraded_path(
+        self, factory, workload, monkeypatch
+    ):
+        pool = SessionPool(factory)
+        with MicroBatchScheduler(
+            pool,
+            max_batch=8,
+            max_wait_ms=1.0,
+            runner="process",
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, base_delay_ms=0.1),
+            breaker_threshold=1,
+        ) as scheduler:
+
+            def crash(*_args, **_kwargs):
+                raise WorkerCrashed(0, "injected")
+
+            monkeypatch.setattr(scheduler._worker_pool, "solve_batch", crash)
+            results = scheduler.map(workload[:6])
+            snapshot = scheduler.telemetry.snapshot()
+        references = serial_reference(factory("reference"), workload[:6])
+        # The breaker tripped over to the parent's in-process serial path:
+        # every request still resolves bit-exactly.
+        assert max_coefficient_gap(results, references) <= 1e-10
+        assert [r.lam for r in results] == [r.lam for r in references]
+        assert snapshot["counters"]["degraded_requests"] >= 6
+        assert snapshot["counters"]["retries"] >= 1
+        assert snapshot["counters"]["breaker_trips"] >= 1
+
+    def test_queue_accounting_and_graceful_drain_with_live_workers(
+        self, factory, workload
+    ):
+        pool = SessionPool(factory)
+        scheduler = MicroBatchScheduler(
+            pool, max_batch=4, max_wait_ms=10.0, runner="process", workers=2
+        )
+        futures = []
+        samples = []
+
+        def produce(offset):
+            for index in range(offset, len(workload), 2):
+                futures.append(scheduler.submit(workload[index]))
+                samples.append((scheduler.queue_depth(), scheduler.outstanding()))
+
+        threads = [threading.Thread(target=produce, args=(offset,)) for offset in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Sampled while submissions raced the drain: queued is a subset of
+        # outstanding, and outstanding never exceeds what was accepted.
+        for queued, outstanding in samples:
+            assert 0 <= queued <= outstanding <= len(workload)
+        worker_processes = [
+            worker.process for worker in scheduler._worker_pool._slots.values()
+        ]
+        scheduler.shutdown(drain=True)
+        # Graceful drain: every accepted future resolved (no cancellations),
+        # the accounting returns to zero, and no worker process survives.
+        assert all(future.done() for future in futures)
+        results = [future.result() for future in futures]
+        assert len(results) == len(workload)
+        assert scheduler.outstanding() == 0
+        assert scheduler.queue_depth() == 0
+        deadline = time.monotonic() + 10.0
+        for process in worker_processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            assert not process.is_alive()

@@ -39,6 +39,7 @@ EXPECTED_STAGES = {
     "fit_stream",
     "service_throughput",
     "service_slo",
+    "service_scaling",
 }
 
 
